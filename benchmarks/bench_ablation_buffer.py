@@ -1,0 +1,43 @@
+"""Buffer-size ablation: how a resident leaf cache changes the picture.
+
+The paper's cost model charges every leaf access to disk.  A real buffer
+manager caches leaves too; this bench quantifies the boundary of the
+RUM-tree's advantage: it wins whenever the leaf working set exceeds the
+buffer (the paper's regime), while a cache that holds most of the leaf
+level absorbs the R*-tree's read-dominated search overhead and flips the
+comparison.
+"""
+
+from conftest import archive, run_experiment
+
+from repro.experiments import series_table
+from repro.experiments.ablation_buffer import run_buffer_ablation
+
+
+def test_buffer_size_ablation(benchmark):
+    result = run_experiment(benchmark, run_buffer_ablation)
+    archive(
+        "ablation_buffer",
+        [
+            "Per-update I/O vs resident leaf-cache pages",
+            series_table(result, "cache_pages", "tree", "update_io"),
+        ],
+    )
+    series = {}
+    for row in result.rows:
+        series.setdefault(row["tree"], {})[row["cache_pages"]] = row[
+            "update_io"
+        ]
+    rum = series["RUM-tree(touch)"]
+    rstar = series["R*-tree"]
+    caches = sorted(rum)
+
+    # Caching monotonically (weakly) reduces everyone's cost.
+    for tree in (rum, rstar):
+        for small, large in zip(caches, caches[1:]):
+            assert tree[large] <= tree[small] + 0.1
+    # Without a leaf cache (the paper's model) the RUM-tree wins ...
+    assert rum[0] < rstar[0]
+    # ... and the R*-tree profits more from caching than the RUM-tree:
+    # its overhead is reads, which are what a cache absorbs.
+    assert rstar[0] - rstar[caches[-1]] > rum[0] - rum[caches[-1]]

@@ -1,0 +1,61 @@
+"""Cleaning and structure-policy ablations (Section 3.3 design choices).
+
+Token-count sweep at a fixed inspection ratio (the aggregate cleaning work
+is constant, so update I/O and garbage ratio should be flat), and the
+split/reinsertion policy study motivating the default R* machinery.
+"""
+
+from conftest import archive, run_experiment
+
+from repro.experiments import (
+    format_table,
+    run_structure_ablation,
+    run_token_ablation,
+)
+
+
+def test_token_count_ablation(benchmark):
+    result = run_experiment(benchmark, run_token_ablation)
+    headers = [
+        "tokens",
+        "update_io",
+        "garbage_ratio",
+        "leaves_inspected",
+        "entries_removed",
+    ]
+    archive(
+        "ablation_tokens",
+        [
+            "Token-count ablation (ir = 20%)",
+            format_table(
+                headers,
+                [[row[h] for h in headers] for row in result.rows],
+            ),
+        ],
+    )
+    ios = [row["update_io"] for row in result.rows]
+    inspected = [row["leaves_inspected"] for row in result.rows]
+    # Same inspection ratio -> same aggregate cleaning work and cost.
+    assert max(ios) < 1.2 * min(ios)
+    assert max(inspected) < 1.1 * min(inspected) + 2
+
+
+def test_structure_policy_ablation(benchmark):
+    result = run_experiment(benchmark, run_structure_ablation)
+    headers = ["config", "update_io", "search_io", "leaves", "height"]
+    archive(
+        "ablation_structure",
+        [
+            "Structure-policy ablation (RUM-tree)",
+            format_table(
+                headers,
+                [[row[h] for h in headers] for row in result.rows],
+            ),
+        ],
+    )
+    rows = {row["config"]: row for row in result.rows}
+    default = rows["rstar split + reinsert"]
+    quadratic = rows["quadratic split, no reinsert"]
+    # The default R* machinery does not lose to the plain-Guttman setup on
+    # search quality (it is the reason the paper builds on the R*-tree).
+    assert default["search_io"] <= quadratic["search_io"] * 1.25

@@ -1,0 +1,36 @@
+"""FUR-tree extension-band ablation (the Figure 12(b) trade-off).
+
+The FUR-tree's leaf-MBR extension band trades update cost against search
+cost: a wider band keeps more updates in place (3 I/Os) but bloats the
+leaf MBRs, which range queries then pay for — the mechanism behind the
+FUR-tree's search-cost degradation in Figure 12(b).
+"""
+
+from conftest import archive, run_experiment
+
+from repro.experiments import format_table, run_fur_extension_ablation
+
+
+def test_fur_extension_tradeoff(benchmark):
+    result = run_experiment(benchmark, run_fur_extension_ablation)
+    headers = ["extension", "update_io", "search_io", "in_place_pct"]
+    archive(
+        "ablation_fur_extension",
+        [
+            "FUR-tree update/search I/O vs leaf-MBR extension band",
+            format_table(
+                headers,
+                [[row[h] for h in headers] for row in result.rows],
+            ),
+        ],
+    )
+    updates = [row["update_io"] for row in result.rows]
+    searches = [row["search_io"] for row in result.rows]
+    in_place = [row["in_place_pct"] for row in result.rows]
+
+    # Wider band -> more in-place placements -> cheaper updates ...
+    assert in_place[-1] >= in_place[0]
+    assert updates[-1] <= updates[0]
+    assert updates[-1] >= 3.0 - 1e-9  # the in-place floor of Section 4.2.2
+    # ... paid for with degraded search.
+    assert searches[-1] > searches[0]

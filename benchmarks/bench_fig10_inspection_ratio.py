@@ -1,0 +1,57 @@
+"""Figure 10 — effect of the inspection ratio (update I/O, garbage ratio).
+
+Regenerates both panels for the RUM-tree(token) and RUM-tree(touch)
+variants and asserts the paper's qualitative findings:
+
+* update I/O increases with the inspection ratio for both variants and
+  tracks ``2·(1+ir)``;
+* the garbage ratio of the token variant drops steeply and is already
+  near-optimal around ir = 20%;
+* the touch variant achieves (much) lower garbage at similar update I/O.
+"""
+
+from conftest import archive, by_tree, run_experiment
+
+from repro.experiments import run_fig10, series_table
+
+
+def test_fig10_inspection_ratio(benchmark):
+    result = run_experiment(benchmark, run_fig10)
+    archive(
+        "fig10_inspection_ratio",
+        [
+            "Figure 10(a) — average update I/O vs inspection ratio",
+            series_table(result, "inspection_ratio", "tree", "update_io"),
+            "Figure 10(b) — garbage ratio vs inspection ratio",
+            series_table(result, "inspection_ratio", "tree", "garbage_ratio"),
+            "Update-memo size (KB) vs inspection ratio",
+            series_table(result, "inspection_ratio", "tree", "memo_kb"),
+        ],
+    )
+
+    token_io = by_tree(result, "RUM-tree(token)", "update_io")
+    touch_io = by_tree(result, "RUM-tree(touch)", "update_io")
+    token_garbage = by_tree(result, "RUM-tree(token)", "garbage_ratio")
+    touch_garbage = by_tree(result, "RUM-tree(touch)", "garbage_ratio")
+    ratios = [
+        row["inspection_ratio"]
+        for row in result.rows
+        if row["tree"] == "RUM-tree(token)"
+    ]
+
+    # (a) update I/O grows with ir for both variants.
+    assert token_io[-1] > token_io[0]
+    assert touch_io[-1] > touch_io[0]
+    # ...and stays in the ballpark of the 2(1+ir) cost model.
+    for ir, io in zip(ratios, token_io):
+        assert io < 2.0 * (1.0 + ir) + 1.5
+
+    # (b) the token variant's garbage ratio falls steeply with ir; by
+    # ir=20% it is within striking distance of the high-ir plateau.
+    idx20 = ratios.index(0.2)
+    assert token_garbage[idx20] < 0.25 * token_garbage[0]
+    assert token_garbage[-1] <= token_garbage[idx20]
+
+    # The touch variant dominates the token variant on garbage.
+    for touch, token in zip(touch_garbage, token_garbage):
+        assert touch <= token + 1e-9

@@ -1,0 +1,95 @@
+"""Figure 12 — R*-tree vs FUR-tree vs RUM-tree over the moving distance.
+
+Regenerates all four panels and asserts the paper's qualitative findings:
+
+* (a) the R*-tree has the highest update cost at every distance; the
+  FUR-tree's update cost grows with the distance; the RUM-tree's stays flat
+  and lowest;
+* (b) the RUM-tree's search cost is within a modest factor of the
+  R*-tree's (smaller leaf fanout);
+* (c) the RUM-tree's advantage in overall cost grows with the
+  update:query ratio and it wins at update-heavy ratios;
+* (d) the Update Memo is much smaller than the FUR-tree's secondary index.
+"""
+
+from conftest import archive, by_tree, run_experiment
+
+from repro.experiments import run_fig12, run_fig12_overall, series_table
+
+
+def test_fig12_moving_distance(benchmark):
+    result = run_experiment(benchmark, run_fig12)
+    archive(
+        "fig12_moving_distance",
+        [
+            "Figure 12(a) — average update I/O vs moving distance",
+            series_table(result, "moving_distance", "tree", "update_io"),
+            "Figure 12(b) — average search I/O vs moving distance",
+            series_table(result, "moving_distance", "tree", "search_io"),
+            "Figure 12(d) — auxiliary structure size (bytes)",
+            series_table(result, "moving_distance", "tree", "aux_bytes"),
+        ],
+    )
+
+    rstar_update = by_tree(result, "R*-tree", "update_io")
+    fur_update = by_tree(result, "FUR-tree", "update_io")
+    rum_update = by_tree(result, "RUM-tree(touch)", "update_io")
+
+    # (a) The RUM-tree has the cheapest updates everywhere; the R*-tree is
+    # always costlier than the RUM-tree by a clear margin.
+    for rum, rstar in zip(rum_update, rstar_update):
+        assert rum < rstar
+    assert sum(rum_update) / len(rum_update) < 0.6 * (
+        sum(rstar_update) / len(rstar_update)
+    )
+    # (a) The FUR-tree degrades with the moving distance; the RUM-tree is
+    # essentially flat (max/min below a small factor).
+    assert fur_update[-1] > fur_update[0]
+    assert max(rum_update) < 1.5 * min(rum_update)
+    # (a) At large distances the RUM-tree beats the FUR-tree.
+    assert rum_update[-1] < fur_update[-1]
+
+    # (b) The RUM-tree's search overhead over the R*-tree stays bounded.
+    rstar_search = by_tree(result, "R*-tree", "search_io")
+    rum_search = by_tree(result, "RUM-tree(touch)", "search_io")
+    avg_rstar = sum(rstar_search) / len(rstar_search)
+    avg_rum = sum(rum_search) / len(rum_search)
+    assert avg_rum < 2.0 * avg_rstar
+
+    # (d) The memo is much smaller than the secondary index.
+    fur_aux = by_tree(result, "FUR-tree", "aux_bytes")
+    rum_aux = by_tree(result, "RUM-tree(touch)", "aux_bytes")
+    for fur, rum in zip(fur_aux, rum_aux):
+        assert rum < 0.25 * fur
+
+
+def test_fig12_overall_ratio(benchmark):
+    result = run_experiment(benchmark, run_fig12_overall)
+    archive(
+        "fig12_overall_ratio",
+        [
+            "Figure 12(c) — overall I/O per op vs update:query ratio",
+            series_table(result, "ratio", "tree", "overall_io"),
+        ],
+    )
+    # At the most update-heavy ratio the RUM-tree wins outright.
+    last_ratio = result.rows[-1]["ratio"]
+    final = {
+        row["tree"]: row["overall_io"]
+        for row in result.rows
+        if row["ratio"] == last_ratio
+    }
+    assert final["RUM-tree(touch)"] < final["R*-tree"]
+    assert final["RUM-tree(touch)"] < final["FUR-tree"]
+
+    # The RUM/R* cost ratio improves monotonically-ish with update share:
+    # strictly better at the update-heavy end than the query-heavy end.
+    first_ratio = result.rows[0]["ratio"]
+    first = {
+        row["tree"]: row["overall_io"]
+        for row in result.rows
+        if row["ratio"] == first_ratio
+    }
+    gain_queries = first["RUM-tree(touch)"] / first["R*-tree"]
+    gain_updates = final["RUM-tree(touch)"] / final["R*-tree"]
+    assert gain_updates < gain_queries

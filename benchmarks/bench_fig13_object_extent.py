@@ -1,0 +1,66 @@
+"""Figure 13 — R*-tree vs FUR-tree vs RUM-tree over the object extent.
+
+Regenerates all four panels and asserts the paper's qualitative findings:
+the R*-tree's update cost grows with the extent, the FUR-tree's falls, the
+RUM-tree's is flat and cheapest; the memo stays far smaller than the
+secondary index; at update-heavy ratios the RUM-tree wins overall.
+"""
+
+from conftest import archive, by_tree, run_experiment
+
+from repro.experiments import run_fig13, run_fig13_overall, series_table
+
+
+def test_fig13_object_extent(benchmark):
+    result = run_experiment(benchmark, run_fig13)
+    archive(
+        "fig13_object_extent",
+        [
+            "Figure 13(a) — average update I/O vs object extent",
+            series_table(result, "extent", "tree", "update_io"),
+            "Figure 13(b) — average search I/O vs object extent",
+            series_table(result, "extent", "tree", "search_io"),
+            "Figure 13(d) — auxiliary structure size (bytes)",
+            series_table(result, "extent", "tree", "aux_bytes"),
+        ],
+    )
+
+    rstar_update = by_tree(result, "R*-tree", "update_io")
+    fur_update = by_tree(result, "FUR-tree", "update_io")
+    rum_update = by_tree(result, "RUM-tree(touch)", "update_io")
+
+    # (a) The R*-tree's update cost grows with the extent (wider MBRs,
+    # more deletion-search paths); the FUR-tree's does not grow; the
+    # RUM-tree is flat, cheapest everywhere, and unaffected by the extent.
+    assert rstar_update[-1] > rstar_update[0]
+    assert fur_update[-1] <= fur_update[0] + 0.5
+    for rum, rstar in zip(rum_update, rstar_update):
+        assert rum < rstar
+    assert max(rum_update) < 1.4 * min(rum_update)
+
+    # (d) The memo stays far smaller than the secondary index.
+    fur_aux = by_tree(result, "FUR-tree", "aux_bytes")
+    rum_aux = by_tree(result, "RUM-tree(touch)", "aux_bytes")
+    for fur, rum in zip(fur_aux, rum_aux):
+        assert rum < 0.25 * fur
+
+
+def test_fig13_overall_ratio(benchmark):
+    result = run_experiment(benchmark, run_fig13_overall)
+    archive(
+        "fig13_overall_ratio",
+        [
+            "Figure 13(c) — overall I/O per op vs update:query ratio "
+            "(extent 0.01)",
+            series_table(result, "ratio", "tree", "overall_io"),
+        ],
+    )
+    last_ratio = result.rows[-1]["ratio"]
+    final = {
+        row["tree"]: row["overall_io"]
+        for row in result.rows
+        if row["ratio"] == last_ratio
+    }
+    # Update-dominated workloads: the RUM-tree wins on both baselines.
+    assert final["RUM-tree(touch)"] < final["R*-tree"]
+    assert final["RUM-tree(touch)"] < final["FUR-tree"]

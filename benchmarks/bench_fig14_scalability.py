@@ -1,0 +1,69 @@
+"""Figure 14 — scalability with the number of indexed objects.
+
+Regenerates all four panels and asserts the paper's qualitative findings:
+the R*-tree's update cost grows with the population while the RUM-tree's
+stays flat and lowest; search costs stay comparable; the memo size grows
+(at most) linearly with the population.
+"""
+
+from conftest import archive, by_tree, run_experiment
+
+from repro.experiments import run_fig14, run_fig14_overall, series_table
+
+X = "num_objects_swept"
+
+
+def test_fig14_scalability(benchmark):
+    result = run_experiment(benchmark, run_fig14)
+    archive(
+        "fig14_scalability",
+        [
+            "Figure 14(a) — average update I/O vs number of objects",
+            series_table(result, X, "tree", "update_io"),
+            "Figure 14(b) — average search I/O vs number of objects",
+            series_table(result, X, "tree", "search_io"),
+            "Figure 14(d) — update-memo size (bytes) vs number of objects",
+            series_table(result, X, "tree", "aux_bytes"),
+        ],
+    )
+
+    rstar_update = by_tree(result, "R*-tree", "update_io")
+    rum_update = by_tree(result, "RUM-tree(touch)", "update_io")
+
+    # (a) The R*-tree update cost grows with the population; the RUM-tree's
+    # does not (flat within a small factor) and is the cheapest throughout.
+    assert rstar_update[-1] > rstar_update[0]
+    assert max(rum_update) < 1.4 * min(rum_update)
+    for rum, rstar in zip(rum_update, rstar_update):
+        assert rum < rstar
+
+    # (d) The memo grows at most linearly in the population: doubling the
+    # objects may double the memo but not more (with slack for noise).
+    rum_aux = by_tree(result, "RUM-tree(touch)", "aux_bytes")
+    populations = [
+        row[X] for row in result.rows if row["tree"] == "RUM-tree(touch)"
+    ]
+    for i in range(1, len(rum_aux)):
+        growth = (rum_aux[i] + 1) / (rum_aux[0] + 1)
+        scale = populations[i] / populations[0]
+        assert growth <= 3.0 * scale
+
+
+def test_fig14_overall_ratio(benchmark):
+    result = run_experiment(benchmark, run_fig14_overall)
+    archive(
+        "fig14_overall_ratio",
+        [
+            "Figure 14(c) — overall I/O per op vs update:query ratio "
+            "(largest population)",
+            series_table(result, "ratio", "tree", "overall_io"),
+        ],
+    )
+    last_ratio = result.rows[-1]["ratio"]
+    final = {
+        row["tree"]: row["overall_io"]
+        for row in result.rows
+        if row["ratio"] == last_ratio
+    }
+    assert final["RUM-tree(touch)"] < final["R*-tree"]
+    assert final["RUM-tree(touch)"] < final["FUR-tree"]

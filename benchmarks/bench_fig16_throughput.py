@@ -1,0 +1,38 @@
+"""Figure 16 — throughput under concurrent accesses (RUM-tree vs R*-tree).
+
+Asserts the paper's qualitative findings: comparable throughput on a
+query-only workload, and a growing RUM-tree advantage as the update share
+rises (memo-based updates lock a single insertion path; top-down updates
+exclusively lock their whole multi-path search neighbourhood).
+"""
+
+from conftest import archive, run_experiment
+
+from repro.experiments import run_fig16, series_table
+
+
+def test_fig16_throughput(benchmark):
+    result = run_experiment(benchmark, run_fig16)
+    archive(
+        "fig16_throughput",
+        [
+            "Figure 16 — throughput (ops/s) vs update percentage",
+            series_table(result, "update_pct", "tree", "ops_per_s"),
+        ],
+    )
+    series = {}
+    for row in result.rows:
+        series.setdefault(row["tree"], {})[row["update_pct"]] = row[
+            "ops_per_s"
+        ]
+    rum = series["RUM-tree(touch)"]
+    rstar = series["R*-tree"]
+
+    # Queries only: the two trees are within a factor of each other.
+    assert 0.4 < rum[0] / rstar[0] < 2.5
+
+    # Updates only: the RUM-tree clearly out-throughputs the R*-tree.
+    assert rum[100] > 1.3 * rstar[100]
+
+    # The relative advantage grows with the update share.
+    assert rum[100] / rstar[100] > rum[0] / rstar[0]

@@ -1,0 +1,47 @@
+"""Table 2 — number of disk accesses to recover the Update Memo.
+
+Asserts the paper's ordering: Option I (full scan with a spilling
+intermediate table) is by far the most expensive; Option II (checkpoint +
+leaf scan) is orders cheaper; Option III (checkpoint + log replay) is the
+cheapest of all.
+"""
+
+from conftest import archive, run_experiment
+
+from repro.experiments import format_table, run_table2
+
+
+def test_table2_recovery_cost(benchmark):
+    result = run_experiment(benchmark, run_table2)
+    headers = [
+        "option",
+        "recovery_io",
+        "leaf_reads",
+        "log_reads",
+        "spill_io",
+        "memo_entries",
+        "memo_superset",
+    ]
+    archive(
+        "table2_recovery",
+        [
+            "Table 2 — number of I/Os for recovery",
+            format_table(
+                headers,
+                [[row[h] for h in headers] for row in result.rows],
+            ),
+        ],
+    )
+    cost = {row["option"]: row["recovery_io"] for row in result.rows}
+    assert cost["I"] > cost["II"] > cost["III"]
+    # Option I is dominated by the spill of the per-object table.
+    spill = {row["option"]: row["spill_io"] for row in result.rows}
+    assert spill["I"] > cost["II"]
+    # Option III reads no leaf pages at all.
+    leaf_reads = {row["option"]: row["leaf_reads"] for row in result.rows}
+    assert leaf_reads["III"] == 0
+
+    # Options II/III recover a safe superset of the pre-crash memo (every
+    # pre-crash entry survives with an up-to-date latest stamp).
+    superset = {row["option"]: row["memo_superset"] for row in result.rows}
+    assert superset["II"] and superset["III"]

@@ -1,0 +1,55 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench runs one experiment driver from :mod:`repro.experiments` under
+pytest-benchmark (one round — these are end-to-end experiment replays, not
+micro-benchmarks), prints the paper-style table(s), archives them under
+``benchmarks/results/``, and asserts the qualitative *shape* the paper
+reports (who wins, monotonicity, crossovers).
+
+Workload sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0); see DESIGN.md for the scale substitution rationale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, List
+
+import pytest
+
+from repro.experiments import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_experiment(
+    benchmark, driver: Callable[[], ExperimentResult]
+) -> ExperimentResult:
+    """Execute one experiment driver exactly once under the benchmark."""
+    return benchmark.pedantic(driver, rounds=1, iterations=1)
+
+
+def archive(name: str, sections: List[str]) -> None:
+    """Print the report and persist it under benchmarks/results/."""
+    text = "\n\n".join(sections) + "\n"
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def by_tree(result: ExperimentResult, tree: str, key: str) -> List[float]:
+    """One tree's series for a metric, in row order."""
+    return [row[key] for row in result.rows if row["tree"] == tree]
+
+
+def averages_by_tree(result: ExperimentResult, key: str) -> dict:
+    sums: dict = {}
+    for row in result.rows:
+        sums.setdefault(row["tree"], []).append(row[key])
+    return {tree: sum(v) / len(v) for tree, v in sums.items()}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)

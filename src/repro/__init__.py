@@ -1,0 +1,67 @@
+"""repro — a reproduction of "R-trees with Update Memos" (ICDE 2006).
+
+The package implements the RUM-tree of Xiong & Aref together with every
+substrate the paper's evaluation depends on: a paged-disk simulator with
+the paper's I/O-accounting model, the R*-tree and FUR-tree baselines, a
+network-based moving-object workload generator, crash recovery, a granular
+lock manager, the Section-4 analytical cost model, and drivers for every
+figure and table of the evaluation (see DESIGN.md and EXPERIMENTS.md).
+
+Quick start::
+
+    from repro import Rect, build_rum_tree
+
+    tree = build_rum_tree()
+    tree.insert_object(1, Rect.from_point(0.2, 0.3))
+    tree.update_object(1, None, Rect.from_point(0.21, 0.31))
+    hits = tree.search(Rect(0.1, 0.2, 0.3, 0.4))
+"""
+
+from .core import (
+    GarbageCleaner,
+    RecoveryReport,
+    RUMTree,
+    StampCounter,
+    UpdateMemo,
+    recover_option_i,
+    recover_option_ii,
+    recover_option_iii,
+)
+from .factory import (
+    DEFAULT_NODE_SIZE,
+    build_fur_tree,
+    build_rstar_tree,
+    build_rum_tree,
+    build_storage,
+)
+from .persistence import load_tree, save_tree
+from .rtree import FURTree, ObjectNotFoundError, RStarTree, Rect, bulk_load_objects
+from .storage import IOSnapshot, IOStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "RUMTree",
+    "RStarTree",
+    "FURTree",
+    "UpdateMemo",
+    "StampCounter",
+    "GarbageCleaner",
+    "RecoveryReport",
+    "recover_option_i",
+    "recover_option_ii",
+    "recover_option_iii",
+    "ObjectNotFoundError",
+    "IOStats",
+    "IOSnapshot",
+    "build_rum_tree",
+    "build_rstar_tree",
+    "build_fur_tree",
+    "build_storage",
+    "bulk_load_objects",
+    "save_tree",
+    "load_tree",
+    "DEFAULT_NODE_SIZE",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analytical models of Section 4: update costs and memo-size bounds."""
+
+from .bounds import (
+    avg_obsolete_entries,
+    garbage_ratio_average,
+    garbage_ratio_upper_bound,
+    max_obsolete_entries,
+    um_size_average,
+    um_size_upper_bound,
+)
+from .cost_model import (
+    BOTTOM_UP_IN_PLACE_IO,
+    BOTTOM_UP_SIBLING_IO,
+    BOTTOM_UP_TOP_DOWN_IO,
+    expected_bottomup_update_io,
+    expected_memo_update_io,
+    expected_topdown_search_io,
+    expected_topdown_update_io,
+    logging_io_per_update_option_ii,
+    logging_io_per_update_option_iii,
+)
+
+__all__ = [
+    "expected_topdown_search_io",
+    "expected_topdown_update_io",
+    "expected_bottomup_update_io",
+    "expected_memo_update_io",
+    "logging_io_per_update_option_ii",
+    "logging_io_per_update_option_iii",
+    "BOTTOM_UP_IN_PLACE_IO",
+    "BOTTOM_UP_SIBLING_IO",
+    "BOTTOM_UP_TOP_DOWN_IO",
+    "max_obsolete_entries",
+    "avg_obsolete_entries",
+    "garbage_ratio_upper_bound",
+    "garbage_ratio_average",
+    "um_size_upper_bound",
+    "um_size_average",
+]

@@ -1,0 +1,66 @@
+"""Bounds on the garbage ratio and the Update-Memo size (Section 4.1).
+
+By Property 1, every leaf is cleaned once per ``N / ir`` updates (``N``
+leaf nodes, inspection ratio ``ir``), and each of those updates introduces
+at most one new obsolete entry.  Hence, in steady state:
+
+* obsolete entries  ≤ ``N / ir``       (average ``N / 2·ir``),
+* garbage ratio     ≤ ``N / (ir·M)``   (``M`` indexed objects),
+* UM size           ≤ ``N·E / ir``     bytes (each obsolete entry owns at
+  most one memo entry of ``E`` bytes), average half of that.
+
+The bounds depend on the number of **leaf nodes**, which is a small
+fraction of the number of objects — that is the paper's argument for the
+memo fitting in main memory.  The cost-model ablation bench checks the
+measured steady-state values against these bounds.
+"""
+
+from __future__ import annotations
+
+from repro.storage.wal import UM_ENTRY_BYTES
+
+
+def max_obsolete_entries(n_leaves: int, inspection_ratio: float) -> float:
+    """Worst-case number of obsolete entries in steady state."""
+    if inspection_ratio <= 0:
+        return float("inf")
+    return n_leaves / inspection_ratio
+
+
+def avg_obsolete_entries(n_leaves: int, inspection_ratio: float) -> float:
+    """Average number of obsolete entries in steady state."""
+    return max_obsolete_entries(n_leaves, inspection_ratio) / 2.0
+
+
+def garbage_ratio_upper_bound(
+    n_leaves: int, inspection_ratio: float, n_objects: int
+) -> float:
+    """Upper bound on obsolete entries per indexed object."""
+    if n_objects <= 0:
+        raise ValueError("n_objects must be positive")
+    return max_obsolete_entries(n_leaves, inspection_ratio) / n_objects
+
+
+def garbage_ratio_average(
+    n_leaves: int, inspection_ratio: float, n_objects: int
+) -> float:
+    """Average-case garbage ratio ``N / (2·ir·M)``."""
+    return garbage_ratio_upper_bound(n_leaves, inspection_ratio, n_objects) / 2.0
+
+
+def um_size_upper_bound(
+    n_leaves: int,
+    inspection_ratio: float,
+    entry_bytes: int = UM_ENTRY_BYTES,
+) -> float:
+    """Upper bound on the Update-Memo size in bytes: ``N·E / ir``."""
+    return max_obsolete_entries(n_leaves, inspection_ratio) * entry_bytes
+
+
+def um_size_average(
+    n_leaves: int,
+    inspection_ratio: float,
+    entry_bytes: int = UM_ENTRY_BYTES,
+) -> float:
+    """Average Update-Memo size in bytes: ``N·E / 2·ir``."""
+    return um_size_upper_bound(n_leaves, inspection_ratio, entry_bytes) / 2.0

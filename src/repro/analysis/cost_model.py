@@ -1,0 +1,134 @@
+"""Analytical update-cost model (Section 4.2).
+
+The paper derives the expected number of *leaf-node* disk accesses per
+update for the three approaches (internal nodes are cached):
+
+* **Top-down** (Section 4.2.1): the deletion search only descends into
+  nodes whose MBR fully contains the old entry's MBR.  By Lemma 2 a leaf
+  MBR of size ``x×y`` contains a random ``a×b`` entry with probability
+  ``max(x-a,0)·max(y-b,0)``, so the expected search cost is half the sum
+  of those probabilities over all leaves (on average the entry is found
+  halfway through the qualifying leaves), and
+
+  ``IO_TD = 1/2 · Σ_i max(x_i-a,0)·max(y_i-b,0) + 3``
+
+  (+3 = write the leaf after the delete, read + write the insertion leaf).
+* **Bottom-up** (Section 4.2.2): 3, 6 or 7 accesses depending on whether
+  the new entry stays in place, moves to a sibling, or needs a top-down
+  insertion.
+* **Memo-based** (Section 4.2.3): one read + one write for the insertion
+  plus the amortised cleaning,
+
+  ``IO_memo = 2 · (1 + ir)``.
+
+The logging surcharges of the recovery options (per update) are
+``N·E / (ir·P·C)`` for Option II and that plus one forced log write for
+Option III.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.rtree.geometry import containment_probability
+from repro.storage.wal import UM_ENTRY_BYTES
+
+
+def expected_topdown_search_io(
+    leaf_sides: Sequence[Tuple[float, float]],
+    entry_width: float = 0.0,
+    entry_height: float = 0.0,
+) -> float:
+    """Expected leaf reads to locate an entry for a top-down deletion.
+
+    ``leaf_sides`` are the (width, height) pairs of the actual leaf MBRs —
+    :meth:`repro.rtree.base.RTreeBase.leaf_mbr_sides` supplies them, so the
+    estimator can be validated against the measured tree (the cost-model
+    ablation bench does exactly that).
+    """
+    qualifying = sum(
+        containment_probability(w, h, entry_width, entry_height)
+        for w, h in leaf_sides
+    )
+    return qualifying / 2.0
+
+
+def expected_topdown_update_io(
+    leaf_sides: Sequence[Tuple[float, float]],
+    entry_width: float = 0.0,
+    entry_height: float = 0.0,
+) -> float:
+    """``IO_TD``: search + delete write + insert read + insert write."""
+    return (
+        expected_topdown_search_io(leaf_sides, entry_width, entry_height)
+        + 3.0
+    )
+
+
+#: Disk accesses of the three bottom-up cases (Section 4.2.2).
+BOTTOM_UP_IN_PLACE_IO = 3.0
+BOTTOM_UP_SIBLING_IO = 6.0
+BOTTOM_UP_TOP_DOWN_IO = 7.0
+
+
+def expected_bottomup_update_io(
+    p_in_place: float, p_sibling: float
+) -> float:
+    """``IO_BU`` for a given placement mix.
+
+    ``p_in_place`` and ``p_sibling`` are the probabilities that the new
+    entry stays in the original leaf resp. fits a sibling; the remainder
+    falls back to a top-down insertion.
+    """
+    if p_in_place < 0 or p_sibling < 0 or p_in_place + p_sibling > 1 + 1e-12:
+        raise ValueError("probabilities must be non-negative and sum <= 1")
+    p_top_down = max(0.0, 1.0 - p_in_place - p_sibling)
+    return (
+        BOTTOM_UP_IN_PLACE_IO * p_in_place
+        + BOTTOM_UP_SIBLING_IO * p_sibling
+        + BOTTOM_UP_TOP_DOWN_IO * p_top_down
+    )
+
+
+def expected_memo_update_io(inspection_ratio: float) -> float:
+    """``IO_memo = 2 (1 + ir)``: the insertion's read+write plus the
+    amortised token cleaning (each inspected leaf is read and written)."""
+    if inspection_ratio < 0:
+        raise ValueError("inspection_ratio must be non-negative")
+    return 2.0 * (1.0 + inspection_ratio)
+
+
+def logging_io_per_update_option_ii(
+    n_leaves: int,
+    inspection_ratio: float,
+    page_size: int,
+    checkpoint_interval: int,
+    entry_bytes: int = UM_ENTRY_BYTES,
+) -> float:
+    """Option II surcharge: a UM snapshot of at most ``N·E/ir`` bytes every
+    ``C`` updates (Section 4.2.3)."""
+    if inspection_ratio <= 0:
+        raise ValueError("Option II requires a positive inspection ratio")
+    um_bytes = n_leaves * entry_bytes / inspection_ratio
+    return um_bytes / (page_size * checkpoint_interval)
+
+
+def logging_io_per_update_option_iii(
+    n_leaves: int,
+    inspection_ratio: float,
+    page_size: int,
+    checkpoint_interval: int,
+    entry_bytes: int = UM_ENTRY_BYTES,
+) -> float:
+    """Option III surcharge: Option II plus one forced log write per
+    update."""
+    return (
+        logging_io_per_update_option_ii(
+            n_leaves,
+            inspection_ratio,
+            page_size,
+            checkpoint_interval,
+            entry_bytes,
+        )
+        + 1.0
+    )

@@ -1,0 +1,13 @@
+"""Concurrency control substrate (Section 3.5) and the Figure-16 harness."""
+
+from .locks import READ, WRITE, GranularLockManager, ReadWriteLock
+from .throughput import ConcurrentHarness, ThroughputResult
+
+__all__ = [
+    "ReadWriteLock",
+    "GranularLockManager",
+    "READ",
+    "WRITE",
+    "ConcurrentHarness",
+    "ThroughputResult",
+]

@@ -1,0 +1,143 @@
+"""Read/write locks and a granular lock manager (Section 3.5).
+
+The paper adopts Dynamic Granular Locking (DGL [4]) for the on-disk tree
+and associates read/write locks with the Update-Memo hash buckets and the
+stamp counter.  This module supplies the locking substrate for the
+throughput experiment (Figure 16):
+
+* :class:`ReadWriteLock` — a classic shared/exclusive lock with writer
+  preference (so update-heavy workloads are not starved);
+* :class:`GranularLockManager` — a table of read/write locks over named
+  granules with deterministic multi-granule acquisition order (granules
+  are always locked in sorted order, which rules out deadlocks under
+  two-phase locking).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+
+class ReadWriteLock:
+    """A shared/exclusive lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            if not self._writer:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+#: Lock modes accepted by the lock manager.
+READ = "read"
+WRITE = "write"
+
+
+class GranularLockManager:
+    """Read/write locks over dynamically created granules.
+
+    Granules are arbitrary hashable names (spatial cells, memo buckets,
+    the stamp counter).  :meth:`locked` acquires a whole set of
+    ``(granule, mode)`` pairs in sorted granule order and releases them on
+    exit — two-phase locking with a global acquisition order, hence
+    deadlock-free.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[Hashable, ReadWriteLock] = {}
+        self._table_guard = threading.Lock()
+
+    def lock_for(self, granule: Hashable) -> ReadWriteLock:
+        with self._table_guard:
+            lock = self._locks.get(granule)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._locks[granule] = lock
+            return lock
+
+    @contextmanager
+    def locked(
+        self, requests: Iterable[Tuple[Hashable, str]]
+    ) -> Iterator[None]:
+        """Hold all requested granule locks for the duration of the block.
+
+        Duplicate granules are coalesced (write wins over read).
+        """
+        merged: Dict[Hashable, str] = {}
+        for granule, mode in requests:
+            if mode not in (READ, WRITE):
+                raise ValueError(f"unknown lock mode {mode!r}")
+            if merged.get(granule) != WRITE:
+                merged[granule] = mode
+        ordered: Sequence[Tuple[Hashable, str]] = sorted(
+            merged.items(), key=lambda item: repr(item[0])
+        )
+        acquired: List[Tuple[ReadWriteLock, str]] = []
+        try:
+            for granule, mode in ordered:
+                lock = self.lock_for(granule)
+                if mode == WRITE:
+                    lock.acquire_write()
+                else:
+                    lock.acquire_read()
+                acquired.append((lock, mode))
+            yield
+        finally:
+            for lock, mode in reversed(acquired):
+                if mode == WRITE:
+                    lock.release_write()
+                else:
+                    lock.release_read()
+
+    def num_granules(self) -> int:
+        with self._table_guard:
+            return len(self._locks)

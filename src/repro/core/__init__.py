@@ -1,0 +1,45 @@
+"""The paper's contribution: the RUM-tree and its supporting machinery.
+
+* :class:`~repro.core.rum.RUMTree` — memo-based insert/update/delete/search;
+* :class:`~repro.core.memo.UpdateMemo` — the in-memory Update Memo;
+* :class:`~repro.core.stamp.StampCounter` — global stamp assignment;
+* :class:`~repro.core.cleaner.GarbageCleaner` — cleaning tokens,
+  clean-upon-touch, phantom inspection;
+* :mod:`~repro.core.recovery` — crash-recovery options I/II/III.
+"""
+
+from .cleaner import CleaningToken, GarbageCleaner
+from .memo import LATEST, OBSOLETE, UMEntry, UpdateMemo
+from .recovery import (
+    RECOVERY_PROCEDURES,
+    RecoveryReport,
+    recover_option_i,
+    recover_option_ii,
+    recover_option_iii,
+)
+from .rum import (
+    RECOVERY_CHECKPOINT,
+    RECOVERY_FULL_LOG,
+    RECOVERY_NONE,
+    RUMTree,
+)
+from .stamp import StampCounter
+
+__all__ = [
+    "RUMTree",
+    "UpdateMemo",
+    "UMEntry",
+    "LATEST",
+    "OBSOLETE",
+    "StampCounter",
+    "GarbageCleaner",
+    "CleaningToken",
+    "RecoveryReport",
+    "recover_option_i",
+    "recover_option_ii",
+    "recover_option_iii",
+    "RECOVERY_PROCEDURES",
+    "RECOVERY_NONE",
+    "RECOVERY_CHECKPOINT",
+    "RECOVERY_FULL_LOG",
+]

@@ -1,0 +1,187 @@
+"""The Update Memo (Section 3.1).
+
+The UM is the RUM-tree's in-memory auxiliary structure distinguishing the
+*latest* entry of an object from its *obsolete* entries.  It is a hash table
+on the object identifier whose entries have the form ``(oid, S_latest,
+N_old)``:
+
+* ``S_latest`` — the stamp of the latest entry of ``oid``;
+* ``N_old`` — the **maximum** number of obsolete entries for ``oid`` still
+  in the tree ("maximum" because operations on non-existing objects create
+  *phantom* entries whose count never drains; Section 3.3.2).
+
+Objects guaranteed to have no obsolete entries own no UM entry at all —
+that is what keeps the UM small (its size is bounded by the number of leaf
+nodes over the inspection ratio, Section 4.1, not by the number of objects).
+
+The memo is bucketised so that the concurrency experiment (Section 3.5) can
+lock individual hash buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.storage.wal import UM_ENTRY_BYTES
+
+#: CheckStatus results (Figure 6).
+LATEST = "LATEST"
+OBSOLETE = "OBSOLETE"
+
+
+class UMEntry:
+    """One Update-Memo entry ``(oid, S_latest, N_old)``."""
+
+    __slots__ = ("oid", "s_latest", "n_old")
+
+    def __init__(self, oid: int, s_latest: int, n_old: int):
+        self.oid = oid
+        self.s_latest = s_latest
+        self.n_old = n_old
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.oid, self.s_latest, self.n_old)
+
+    def __repr__(self) -> str:
+        return f"UMEntry(oid={self.oid}, S_latest={self.s_latest}, N_old={self.n_old})"
+
+
+class UpdateMemo:
+    """Hash table on oid holding ``(oid, S_latest, N_old)`` entries."""
+
+    def __init__(self, n_buckets: int = 64):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self._buckets: List[Dict[int, UMEntry]] = [
+            {} for _ in range(n_buckets)
+        ]
+        #: Per-bucket locks for the concurrency experiment (Section 3.5).
+        self.bucket_locks = [threading.Lock() for _ in range(n_buckets)]
+
+    def _bucket(self, oid: int) -> Dict[int, UMEntry]:
+        return self._buckets[oid % self.n_buckets]
+
+    def bucket_lock(self, oid: int) -> threading.Lock:
+        return self.bucket_locks[oid % self.n_buckets]
+
+    # ------------------------------------------------------------------
+    # The paper's memo operations
+    # ------------------------------------------------------------------
+
+    def record_update(self, oid: int, stamp: int) -> None:
+        """Step 5 of MemoBasedInsert (Figure 4) — also used verbatim by
+        MemoBasedDelete (Figure 5).
+
+        If no entry exists a new ``(oid, stamp, 1)`` entry is inserted;
+        otherwise ``S_latest`` becomes ``stamp`` and ``N_old`` grows by one
+        (the former latest entry just became obsolete).
+        """
+        bucket = self._bucket(oid)
+        entry = bucket.get(oid)
+        if entry is None:
+            bucket[oid] = UMEntry(oid, stamp, 1)
+        else:
+            entry.s_latest = stamp
+            entry.n_old += 1
+
+    def check_status(self, oid: int, stamp: int) -> str:
+        """CheckStatus (Figure 6): classify a leaf entry as LATEST or
+        OBSOLETE by comparing its stamp against ``S_latest``."""
+        entry = self._bucket(oid).get(oid)
+        if entry is None:
+            return LATEST
+        return LATEST if stamp == entry.s_latest else OBSOLETE
+
+    def is_obsolete(self, oid: int, stamp: int) -> bool:
+        """Convenience predicate used by query filtering and the cleaner."""
+        entry = self._bucket(oid).get(oid)
+        return entry is not None and stamp != entry.s_latest
+
+    def note_cleaned(self, oid: int) -> None:
+        """An obsolete entry of ``oid`` was physically removed: decrement
+        ``N_old`` and drop the memo entry when it reaches zero (Figure 8,
+        step 1b)."""
+        bucket = self._bucket(oid)
+        entry = bucket.get(oid)
+        if entry is None:
+            raise KeyError(
+                f"cleaned an obsolete entry for oid {oid} with no UM entry"
+            )
+        entry.n_old -= 1
+        if entry.n_old <= 0:
+            del bucket[oid]
+
+    def purge_phantoms(
+        self, stamp_threshold: int, exclude: Optional[Set[int]] = None
+    ) -> int:
+        """Phantom inspection (Section 3.3.2, Lemma 1).
+
+        After every leaf has been visited and cleaned once since the stamp
+        counter read ``stamp_threshold``, any UM entry with ``S_latest <
+        stamp_threshold`` can only be a phantom; remove them all.  Returns
+        the number of entries purged.
+
+        ``exclude`` names oids whose obsolete entries are known to have
+        been relocated by node splits during the inspection cycle — their
+        entries may genuinely still be in the tree, so the purge skips
+        them (the cleaner shields them for one extra cycle).
+        """
+        purged = 0
+        for bucket in self._buckets:
+            victims = [
+                oid
+                for oid, entry in bucket.items()
+                if entry.s_latest < stamp_threshold
+                and (exclude is None or oid not in exclude)
+            ]
+            for oid in victims:
+                del bucket[oid]
+            purged += len(victims)
+        return purged
+
+    # ------------------------------------------------------------------
+    # Lookup / snapshot / restore
+    # ------------------------------------------------------------------
+
+    def get(self, oid: int) -> Optional[UMEntry]:
+        return self._bucket(oid).get(oid)
+
+    def snapshot(self) -> List[Tuple[int, int, int]]:
+        """A stable copy of all entries (checkpointing, Section 3.4)."""
+        return [
+            entry.as_tuple()
+            for bucket in self._buckets
+            for entry in bucket.values()
+        ]
+
+    def restore(self, entries: Iterator[Tuple[int, int, int]]) -> None:
+        """Replace the whole memo content (crash recovery)."""
+        for bucket in self._buckets:
+            bucket.clear()
+        for oid, s_latest, n_old in entries:
+            self._bucket(oid)[oid] = UMEntry(oid, s_latest, n_old)
+
+    # ------------------------------------------------------------------
+    # Size metrics (Figures 12d/13d/14d)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def size_bytes(self) -> int:
+        """Memo size using the paper's per-entry footprint ``E``."""
+        return len(self) * UM_ENTRY_BYTES
+
+    def total_n_old(self) -> int:
+        """Sum of ``N_old`` — an upper bound on obsolete entries in the tree."""
+        return sum(
+            entry.n_old
+            for bucket in self._buckets
+            for entry in bucket.values()
+        )
+
+    def __iter__(self) -> Iterator[UMEntry]:
+        for bucket in self._buckets:
+            yield from bucket.values()

@@ -1,0 +1,329 @@
+"""The RUM-tree: R-tree with Update Memo (Section 3).
+
+The memo-based update approach reduces an update to a plain insertion: the
+old entry is *not* located or deleted — it simply becomes obsolete, and the
+Update Memo (:mod:`repro.core.memo`) remembers which entry of each object is
+the latest.  Obsolete entries are physically removed later by the garbage
+cleaner (:mod:`repro.core.cleaner`), either when a cleaning token visits
+their leaf or for free when an insertion touches it (*clean-upon-touch*,
+Section 3.3.3).
+
+Queries run the ordinary R-tree search and then filter the raw answer set
+through the memo (Figure 3b), so the tree always returns exactly the latest
+values even though multiple entries per object coexist.
+
+Logging for the three crash-recovery options of Section 3.4 is integrated
+here; the recovery procedures themselves live in
+:mod:`repro.core.recovery`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.storage.buffer import BufferPool
+from repro.storage.wal import WriteAheadLog
+
+from repro.rtree.base import RTreeBase
+from repro.rtree.geometry import Rect
+from repro.rtree.node import LeafEntry, Node
+
+from .cleaner import GarbageCleaner
+from .memo import UpdateMemo
+from .stamp import StampCounter
+
+#: Recovery options of Section 3.4.
+RECOVERY_NONE = "I"      # no log
+RECOVERY_CHECKPOINT = "II"   # UM snapshot at checkpoints
+RECOVERY_FULL_LOG = "III"    # checkpoints + every memo change
+
+_RECOVERY_OPTIONS = (RECOVERY_NONE, RECOVERY_CHECKPOINT, RECOVERY_FULL_LOG)
+
+
+class RUMTree(RTreeBase):
+    """R-tree with Update Memo.
+
+    Parameters
+    ----------
+    buffer:
+        Storage stack; its codec must use the RUM leaf-entry layout
+        (``NodeCodec(..., rum_leaves=True)``) so that stamps survive on
+        disk — :func:`repro.factory.build_rum_tree` wires this up.
+    inspection_ratio:
+        ``ir`` of the garbage cleaner — leaf nodes inspected per update
+        (Figure 10 sweeps 0–100%).  Together with ``n_tokens`` this fixes
+        the token inspection interval ``I = n_tokens / ir``.
+    n_tokens:
+        Number of parallel cleaning tokens (Figure 7).
+    clean_upon_touch:
+        Also clean every leaf touched by an insertion, at zero extra I/O
+        (Section 3.3.3).  This is the paper's "RUM-tree*touch*" variant;
+        switching it off gives "RUM-tree*token*".
+    recovery_option:
+        ``None`` or one of ``"I"``, ``"II"``, ``"III"`` (Section 3.4).
+        Options II/III require a :class:`WriteAheadLog`.
+    checkpoint_interval:
+        Updates between UM checkpoints for options II/III (the paper logs
+        one checkpoint every 10,000 updates).
+    """
+
+    name = "RUM-tree"
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        *,
+        inspection_ratio: float = 0.2,
+        n_tokens: int = 1,
+        clean_upon_touch: bool = True,
+        memo_buckets: int = 64,
+        recovery_option: Optional[str] = None,
+        checkpoint_interval: int = 10_000,
+        wal: Optional[WriteAheadLog] = None,
+        phantom_inspection: bool = True,
+        phantom_lag_cycles: int = 1,
+        **kwargs,
+    ):
+        if not buffer.codec.rum_leaves:
+            raise ValueError(
+                "RUMTree requires a codec with rum_leaves=True "
+                "(leaf entries must carry oid and stamp)"
+            )
+        if recovery_option is not None:
+            if recovery_option not in _RECOVERY_OPTIONS:
+                raise ValueError(
+                    f"unknown recovery option {recovery_option!r}"
+                )
+            if recovery_option != RECOVERY_NONE and wal is None:
+                raise ValueError(
+                    f"recovery option {recovery_option} needs a write-ahead log"
+                )
+        if inspection_ratio < 0:
+            raise ValueError("inspection_ratio must be non-negative")
+
+        kwargs.setdefault("maintain_leaf_ring", True)
+        super().__init__(buffer, **kwargs)
+
+        self.memo = UpdateMemo(n_buckets=memo_buckets)
+        self.stamps = StampCounter()
+        self.clean_upon_touch = clean_upon_touch
+        self.recovery_option = recovery_option
+        self.checkpoint_interval = checkpoint_interval
+        self.wal = wal
+        self._updates_since_checkpoint = 0
+
+        self.cleaner = GarbageCleaner(
+            self,
+            n_tokens=n_tokens,
+            inspection_ratio=inspection_ratio,
+            phantom_inspection=phantom_inspection and inspection_ratio > 0,
+            phantom_lag_cycles=phantom_lag_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Memo-based insert / update / delete (Figures 4 and 5)
+    # ------------------------------------------------------------------
+
+    def insert_object(self, oid: int, rect: Rect) -> None:
+        """MemoBasedInsert — inserts and updates are the same operation."""
+        self._memo_based_insert(oid, rect)
+
+    def update_object(
+        self, oid: int, old_rect: Optional[Rect], new_rect: Rect
+    ) -> None:
+        """Memo-based update.  ``old_rect`` is ignored: *"The old value of
+        the object being updated is not required"* (Section 3.2.1)."""
+        self._memo_based_insert(oid, new_rect)
+
+    def _memo_based_insert(self, oid: int, rect: Rect) -> None:
+        stamp = self.stamps.next()
+        # Update the memo first so that clean-upon-touch already sees the
+        # previous entry of this object as obsolete while the target leaf
+        # is in hand.
+        self.memo.record_update(oid, stamp)
+        if self.recovery_option == RECOVERY_FULL_LOG:
+            self.wal.append_memo_change(oid, stamp)
+        with self.buffer.operation():
+            self._insert(LeafEntry(rect, oid, stamp), 0, set())
+        self._after_update()
+
+    def delete_object(self, oid: int, old_rect: Optional[Rect] = None) -> None:
+        """MemoBasedDelete (Figure 5): a deletion never touches the tree —
+        it only bumps the memo so every tree entry of ``oid`` becomes
+        obsolete and is garbage-collected later."""
+        stamp = self.stamps.next()
+        self.memo.record_update(oid, stamp)
+        if self.recovery_option == RECOVERY_FULL_LOG:
+            self.wal.append_memo_change(oid, stamp)
+        self._after_update()
+
+    def _after_update(self) -> None:
+        self.cleaner.on_update()
+        if self.recovery_option in (RECOVERY_CHECKPOINT, RECOVERY_FULL_LOG):
+            self._updates_since_checkpoint += 1
+            if self._updates_since_checkpoint >= self.checkpoint_interval:
+                self.write_checkpoint()
+
+    def write_checkpoint(self) -> None:
+        """Log the UM and the stamp counter (recovery options II/III)."""
+        if self.wal is None:
+            raise RuntimeError("checkpointing requires a write-ahead log")
+        self.wal.append_checkpoint(self.memo.snapshot(), self.stamps.current)
+        self._updates_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Search (Figure 3b): raw R-tree answer set filtered through the memo
+    # ------------------------------------------------------------------
+
+    def search(self, window: Rect) -> List[Tuple[int, Rect]]:
+        """All live objects whose latest MBR intersects ``window``."""
+        raw = self.range_search(window)
+        return [
+            (e.oid, e.rect)
+            for e in raw
+            if self.memo.check_status(e.oid, e.stamp) == "LATEST"
+        ]
+
+    def nearest_neighbors(
+        self, x: float, y: float, k: int
+    ) -> List[Tuple[int, Rect]]:
+        """The ``k`` live objects nearest to ``(x, y)``, nearest first.
+
+        Demonstrates that the memo filter composes with *any* R-tree query
+        algorithm (Section 3.2.3): the incremental best-first stream of
+        candidate entries is simply filtered through CheckStatus, pulling
+        further candidates whenever an obsolete entry (or an older version
+        of an object already reported) is skipped.
+        """
+        if k <= 0:
+            return []
+        results: List[Tuple[int, Rect]] = []
+        reported = set()
+        for entry, _dist in self.iter_nearest(x, y):
+            if self.memo.check_status(entry.oid, entry.stamp) != "LATEST":
+                continue
+            if entry.oid in reported:  # defensive; latest entries are unique
+                continue
+            reported.add(entry.oid)
+            results.append((entry.oid, entry.rect))
+            if len(results) == k:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Cleaning integration
+    # ------------------------------------------------------------------
+
+    def clean_leaf(self, leaf: Node, keep_at_least: int = 0) -> int:
+        """Remove obsolete entries from ``leaf`` (Figure 8, step 1).
+
+        ``keep_at_least`` stops the sweep early so opportunistic cleaning
+        (clean-upon-touch, clean-on-split) never underflows a node in the
+        middle of another structural operation.  Returns the number of
+        entries removed; the caller owns MBR adjustment / condensation.
+        """
+        memo = self.memo
+        kept: List[LeafEntry] = []
+        removed = 0
+        budget = len(leaf.entries) - keep_at_least
+        for entry in leaf.entries:
+            if removed < budget and memo.is_obsolete(entry.oid, entry.stamp):
+                memo.note_cleaned(entry.oid)
+                removed += 1
+            else:
+                kept.append(entry)
+        if removed:
+            leaf.entries = kept
+            self.buffer.mark_dirty(leaf)
+        return removed
+
+    def _on_entry_placed(self, node: Node, entry: LeafEntry) -> None:
+        if not self.clean_upon_touch:
+            return
+        # Clean-upon-touch (Section 3.3.3): the leaf is already being read
+        # and written by this insertion, so sweeping it costs no extra I/O.
+        # Leave at least min_leaf entries so the insertion path never has
+        # to handle an underflow it did not cause.
+        removed = self.clean_leaf(node, keep_at_least=self.min_leaf)
+        if removed:
+            self.cleaner.entries_removed += removed
+
+    def _on_leaf_split(self, node: Node, sibling: Node) -> None:
+        # A split inserts the new sibling right after the original in the
+        # leaf ring, so obsolete entries distributed to the sibling can
+        # land *behind* a cleaning token and survive the current ring
+        # cycle.  Lemma 1 would then wrongly classify their memo entries
+        # as phantoms and purging them would resurrect stale versions.
+        # Telling the cleaner to shield those oids from the next phantom
+        # purge keeps the purge sound while preserving the paper's split
+        # behaviour (garbage moves with the entries; only the cleaner
+        # removes it).
+        if self.clean_upon_touch:
+            # Touch-mode bonus: both halves are in memory — sweep them for
+            # free (never below the post-split minimum fill).
+            removed = self.clean_leaf(node, keep_at_least=self.min_leaf)
+            removed += self.clean_leaf(sibling, keep_at_least=self.min_leaf)
+            if removed:
+                self.cleaner.entries_removed += removed
+        memo = self.memo
+        for entry in sibling.entries:
+            if memo.is_obsolete(entry.oid, entry.stamp):
+                self.cleaner.protect_from_purge(entry.oid)
+
+    def _on_leaf_dissolved(self, node: Node) -> None:
+        self.cleaner.on_leaf_dissolved(
+            node.page_id, node.next_leaf, node.prev_leaf
+        )
+
+    def _insert(self, entry, level: int, reinserted: Set[int]):
+        # Reinserted obsolete entries (leaf condensation, forced reinsert)
+        # are dropped instead of re-entering the tree: physically removing
+        # them here is free and keeps them from landing behind a token.
+        if (
+            level == 0
+            and isinstance(entry, LeafEntry)
+            and self.memo.is_obsolete(entry.oid, entry.stamp)
+        ):
+            self.memo.note_cleaned(entry.oid)
+            self.cleaner.entries_removed += 1
+            return None
+        return super()._insert(entry, level, reinserted)
+
+    # ------------------------------------------------------------------
+    # Metrics (garbage ratio, memo size)
+    # ------------------------------------------------------------------
+
+    def garbage_count(self) -> int:
+        """Exact number of obsolete entries currently in the tree."""
+        return sum(
+            1
+            for entry in self.iter_leaf_entries()
+            if self.memo.is_obsolete(entry.oid, entry.stamp)
+        )
+
+    def garbage_ratio(self, num_objects: int) -> float:
+        """Obsolete entries over indexed objects (Section 3.3.1)."""
+        if num_objects <= 0:
+            return 0.0
+        return self.garbage_count() / num_objects
+
+    def memo_size_bytes(self) -> int:
+        return self.memo.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Crash simulation (Section 3.4)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose every volatile structure; the on-disk tree survives.
+
+        The buffer is flushed first: the failure model of Section 3.4 is
+        that *"UM is in main-memory ... when the system crashes, the data
+        in UM is lost"* — the tree itself is durable.
+        """
+        self.buffer.flush()
+        self.buffer.drop_volatile()
+        self.memo.restore([])
+        self.stamps.restore(0)
+        self.cleaner.reset()
+        self._updates_since_checkpoint = 0

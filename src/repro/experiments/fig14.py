@@ -1,0 +1,79 @@
+"""Figure 14 — scalability with the number of indexed objects.
+
+The population grows (the paper: 2M → 20M; the simulator sweeps one decade
+at its own scale) and the same four panels are reported.  Expected shapes
+(Section 5.4): the R*-tree's update cost grows with the population (more
+nodes to search top-down); the FUR-tree's stays near its top-down
+upper bound; the RUM-tree's is flat — insertion cost and amortised
+cleaning cost are both independent of the tree size (Section 4.2.3).  The
+Update-Memo size grows linearly with the population because the garbage
+*ratio* is population-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.workload.objects import default_network_workload
+
+from .comparison import overall_comparison, sweep_comparison
+from .harness import ExperimentResult, scaled
+
+DEFAULT_POPULATIONS = (2500, 5000, 10000, 20000)
+DEFAULT_RATIOS = ((1, 100), (1, 10), (1, 1), (10, 1), (100, 1), (10000, 1))
+
+
+def run_fig14(
+    populations: Sequence[int] = DEFAULT_POPULATIONS,
+    node_size: int = 2048,
+    moving_distance: float = 0.01,
+    seed: int = 37,
+) -> ExperimentResult:
+    """Panels (a), (b), (d): sweep the number of objects."""
+
+    def factory(population: float):
+        n = scaled(int(population))
+        return (
+            default_network_workload(
+                n, moving_distance=moving_distance, seed=seed
+            ),
+            n,
+        )
+
+    return sweep_comparison(
+        "Figure 14(a,b,d)",
+        "update I/O, search I/O and memo size vs number of objects",
+        "num_objects_swept",
+        list(populations),
+        factory,
+        node_size=node_size,
+    )
+
+
+def run_fig14_overall(
+    population: int = 10000,
+    node_size: int = 2048,
+    ratios: Sequence[Tuple[int, int]] = DEFAULT_RATIOS,
+    moving_distance: float = 0.01,
+    seed: int = 37,
+) -> ExperimentResult:
+    """Panel (c): overall cost vs update:query ratio at the largest
+    population."""
+    n = scaled(population)
+
+    def factory():
+        return (
+            default_network_workload(
+                n, moving_distance=moving_distance, seed=seed
+            ),
+            n,
+        )
+
+    return overall_comparison(
+        "Figure 14(c)",
+        f"overall I/O per operation vs update:query ratio ({n} objects)",
+        ratios,
+        factory,
+        node_size=node_size,
+        ops_factor=1.0,
+    )

@@ -1,0 +1,221 @@
+"""Shared experiment machinery: tree construction, loading, measurement.
+
+Every figure driver uses the same primitives so that all trees see
+identical workloads and all metrics are computed the same way:
+
+* :func:`make_tree` — build one of the four evaluated index variants
+  ("rstar", "fur", "rum_token", "rum_touch") on a fresh storage stack;
+* :func:`load_tree` — bulk-load the initial object population;
+* :func:`measure_updates` — average per-update disk accesses and CPU time
+  over an update stream;
+* :func:`measure_queries` — average per-query disk accesses;
+* :func:`run_trace` — replay a mixed update/query trace.
+
+The paper's absolute workload sizes (2M–20M objects, 100k queries) are far
+beyond a pure-Python simulator's single-run budget; the drivers default to
+thousands of objects and scale every count by ``REPRO_BENCH_SCALE``
+(float, default 1.0), so the suite can be run larger when time allows.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.rum import RUMTree
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.storage.iostats import IOSnapshot
+from repro.workload.queries import RangeQueryGenerator
+from repro.workload.trace import Operation, UpdateOp
+
+#: Names of the evaluated index variants (Section 5 terminology).
+TREE_KINDS = ("rstar", "fur", "rum_token", "rum_touch")
+
+TREE_LABELS = {
+    "rstar": "R*-tree",
+    "fur": "FUR-tree",
+    "rum_token": "RUM-tree(token)",
+    "rum_touch": "RUM-tree(touch)",
+}
+
+
+def bench_scale() -> float:
+    """Global workload multiplier from the ``REPRO_BENCH_SCALE`` env var."""
+    try:
+        return max(0.01, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(count: int, scale: Optional[float] = None) -> int:
+    """Scale a workload count, keeping it at a sane minimum."""
+    factor = bench_scale() if scale is None else scale
+    return max(16, int(count * factor))
+
+
+def make_tree(
+    kind: str,
+    node_size: int = 8192,
+    inspection_ratio: float = 0.2,
+    fur_extension: float = 0.01,
+    **extra,
+):
+    """Construct one evaluated index variant on a fresh storage stack."""
+    if kind == "rstar":
+        return build_rstar_tree(node_size=node_size, **extra)
+    if kind == "fur":
+        return build_fur_tree(
+            node_size=node_size, extension=fur_extension, **extra
+        )
+    if kind == "rum_token":
+        return build_rum_tree(
+            node_size=node_size,
+            inspection_ratio=inspection_ratio,
+            clean_upon_touch=False,
+            **extra,
+        )
+    if kind == "rum_touch":
+        return build_rum_tree(
+            node_size=node_size,
+            inspection_ratio=inspection_ratio,
+            clean_upon_touch=True,
+            **extra,
+        )
+    raise ValueError(f"unknown tree kind {kind!r}; expected {TREE_KINDS}")
+
+
+def load_tree(tree, initial: Iterable) -> int:
+    """Insert the initial population; returns the number of objects."""
+    count = 0
+    for oid, rect in initial:
+        tree.insert_object(oid, rect)
+        count += 1
+    return count
+
+
+@dataclass
+class UpdateMeasurement:
+    """Averaged update-cost metrics over one measured stream."""
+
+    updates: int
+    io: IOSnapshot
+    cpu_seconds: float
+
+    @property
+    def io_per_update(self) -> float:
+        return self.io.counted_total / self.updates if self.updates else 0.0
+
+    @property
+    def leaf_io_per_update(self) -> float:
+        return self.io.leaf_total / self.updates if self.updates else 0.0
+
+    @property
+    def cpu_ms_per_update(self) -> float:
+        return 1000.0 * self.cpu_seconds / self.updates if self.updates else 0.0
+
+
+def measure_updates(tree, objects, count: int) -> UpdateMeasurement:
+    """Replay ``count`` updates and average their cost."""
+    before = tree.stats.snapshot()
+    started = time.process_time()
+    for oid, old_rect, new_rect in objects.updates(count):
+        tree.update_object(oid, old_rect, new_rect)
+    cpu = time.process_time() - started
+    return UpdateMeasurement(
+        updates=count, io=tree.stats.snapshot() - before, cpu_seconds=cpu
+    )
+
+
+@dataclass
+class QueryMeasurement:
+    """Averaged query-cost metrics over one measured stream."""
+
+    queries: int
+    io: IOSnapshot
+    cpu_seconds: float
+    results: int = 0
+
+    @property
+    def io_per_query(self) -> float:
+        return self.io.counted_total / self.queries if self.queries else 0.0
+
+
+def measure_queries(
+    tree, queries: RangeQueryGenerator, count: int
+) -> QueryMeasurement:
+    """Evaluate ``count`` range queries and average their cost."""
+    before = tree.stats.snapshot()
+    started = time.process_time()
+    results = 0
+    for window in queries.queries(count):
+        results += len(tree.search(window))
+    cpu = time.process_time() - started
+    return QueryMeasurement(
+        queries=count,
+        io=tree.stats.snapshot() - before,
+        cpu_seconds=cpu,
+        results=results,
+    )
+
+
+@dataclass
+class TraceMeasurement:
+    """Cost of replaying a mixed trace."""
+
+    operations: int
+    updates: int
+    queries: int
+    io: IOSnapshot
+
+    @property
+    def io_per_operation(self) -> float:
+        return self.io.counted_total / self.operations if self.operations else 0.0
+
+
+def run_trace(tree, trace: Sequence[Operation]) -> TraceMeasurement:
+    """Replay a prepared mixed trace against one tree."""
+    before = tree.stats.snapshot()
+    updates = queries = 0
+    for op in trace:
+        if isinstance(op, UpdateOp):
+            tree.update_object(op.oid, op.old_rect, op.new_rect)
+            updates += 1
+        else:
+            tree.search(op.window)
+            queries += 1
+    return TraceMeasurement(
+        operations=len(trace),
+        updates=updates,
+        queries=queries,
+        io=tree.stats.snapshot() - before,
+    )
+
+
+def auxiliary_size_bytes(tree) -> int:
+    """Size of the tree's auxiliary structure (Figures 12d/13d/14d):
+    the Update Memo for the RUM-tree, the secondary index for the
+    FUR-tree, nothing for the R*-tree."""
+    if isinstance(tree, RUMTree):
+        return tree.memo_size_bytes()
+    index = getattr(tree, "index", None)
+    if index is not None:
+        return index.size_bytes()
+    return 0
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every figure driver returns.
+
+    ``rows`` is a list of dicts (one per measured configuration); the
+    bench wrappers print them and EXPERIMENTS.md records them.
+    """
+
+    experiment: str
+    description: str
+    rows: List[Dict] = field(default_factory=list)
+
+    def column(self, key: str) -> List:
+        return [row[key] for row in self.rows]

@@ -1,0 +1,31 @@
+"""Memo-based updates beyond R-trees (the paper's closing claim).
+
+The conclusion of the paper argues the memo-based approach generalises to
+"B-trees, quadtrees and Grid Files".  This package substantiates it with
+three transplants that reuse the *same* Update Memo, stamp counter and lazy
+cleaning machinery as the RUM-tree:
+
+* :class:`~repro.extensions.btree.MemoBTree` vs the classic
+  :class:`~repro.extensions.btree.BPlusTree`;
+* :class:`~repro.extensions.quadtree.MemoQuadtree` vs the classic
+  :class:`~repro.extensions.quadtree.PRQuadtree`;
+* :class:`~repro.extensions.grid.MemoGrid` vs the classic
+  :class:`~repro.extensions.grid.GridFile` (the LUGrid direction).
+
+The ``bench_ablation_extensions`` benchmark compares the update costs.
+"""
+
+from .btree import BPlusTree, BTreeCodec, BTreeNode, MemoBTree
+from .grid import GridFile, MemoGrid
+from .quadtree import MemoQuadtree, PRQuadtree
+
+__all__ = [
+    "BPlusTree",
+    "MemoBTree",
+    "BTreeNode",
+    "BTreeCodec",
+    "GridFile",
+    "MemoGrid",
+    "PRQuadtree",
+    "MemoQuadtree",
+]

@@ -1,0 +1,270 @@
+"""Memo-based updates for a grid file (the conclusion's third candidate).
+
+A uniform grid over the unit square with one page chain per cell — the
+structure behind LUGrid, the follow-up work by the same group.  As with
+the B+-tree extension, the point is that the Update Memo, stamp counter
+and lazy cleaning transplant unchanged:
+
+* :class:`GridFile` — classic updates: locate the old entry in its cell's
+  page chain, remove it, insert the new entry into the new cell;
+* :class:`MemoGrid` — memo-based updates: stamp + insert only; a cleaning
+  cursor sweeps one cell chain per ``1/ir`` updates; queries filter
+  through CheckStatus.
+
+Pages hold a fixed number of entries derived from the configured page
+size (24 B classic, 32 B stamped); the page chains are charged one read
+and one write per touched page, mirroring the paper's leaf accounting.
+Unlike the R-tree/B+-tree stacks, the grid keeps its pages as in-memory
+lists with logical page accounting — the structure is an extension
+demonstration, not a re-run of the storage substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.memo import LATEST, UpdateMemo
+from repro.core.stamp import StampCounter
+from repro.storage.iostats import IOStats
+
+CLASSIC_ENTRY_BYTES = 24  # x, y (float64) + oid (int64)
+MEMO_ENTRY_BYTES = 32     # + stamp
+PAGE_HEADER_BYTES = 16
+
+
+class _Cell:
+    """One grid cell: a chain of fixed-capacity pages."""
+
+    __slots__ = ("pages",)
+
+    def __init__(self) -> None:
+        self.pages: List[List[Tuple[float, float, int, int]]] = [[]]
+
+
+class GridFile:
+    """Uniform grid over the unit square with classic in-place updates."""
+
+    name = "Grid file"
+
+    def __init__(self, side: int = 16, page_size: int = 2048,
+                 stamped: bool = False):
+        if side <= 0:
+            raise ValueError("grid side must be positive")
+        self.side = side
+        entry_bytes = MEMO_ENTRY_BYTES if stamped else CLASSIC_ENTRY_BYTES
+        self.page_cap = max(2, (page_size - PAGE_HEADER_BYTES) // entry_bytes)
+        self.stats = IOStats()
+        self._cells = [[_Cell() for _ in range(side)] for _ in range(side)]
+
+    # -- cell addressing ---------------------------------------------------
+
+    def _cell_of(self, x: float, y: float) -> _Cell:
+        cx = min(self.side - 1, max(0, int(x * self.side)))
+        cy = min(self.side - 1, max(0, int(y * self.side)))
+        return self._cells[cy][cx]
+
+    def _charge(self, reads: int = 0, writes: int = 0) -> None:
+        self.stats.leaf_reads += reads
+        self.stats.leaf_writes += writes
+
+    # -- operations -----------------------------------------------------------
+
+    def _append(self, cell: _Cell, entry: Tuple[float, float, int, int]) -> None:
+        """Insert into the first page with room (read it, write it back)."""
+        for i, page in enumerate(cell.pages):
+            if len(page) < self.page_cap:
+                self._charge(reads=i + 1, writes=1)
+                page.append(entry)
+                return
+        self._charge(reads=len(cell.pages), writes=1)
+        cell.pages.append([entry])
+
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        self._append(self._cell_of(x, y), (x, y, oid, 0))
+
+    def update_object(
+        self,
+        oid: int,
+        old_pos: Tuple[float, float],
+        new_pos: Tuple[float, float],
+    ) -> None:
+        """Classic update: delete from the old cell, insert into the new."""
+        ox, oy = old_pos
+        cell = self._cell_of(ox, oy)
+        for i, page in enumerate(cell.pages):
+            for j, entry in enumerate(page):
+                if entry[2] == oid:
+                    self._charge(reads=i + 1, writes=1)
+                    del page[j]
+                    self._append(
+                        self._cell_of(*new_pos),
+                        (new_pos[0], new_pos[1], oid, 0),
+                    )
+                    return
+        raise KeyError(oid)
+
+    def delete_object(self, oid: int, old_pos: Tuple[float, float]) -> None:
+        ox, oy = old_pos
+        cell = self._cell_of(ox, oy)
+        for i, page in enumerate(cell.pages):
+            for j, entry in enumerate(page):
+                if entry[2] == oid:
+                    self._charge(reads=i + 1, writes=1)
+                    del page[j]
+                    return
+        raise KeyError(oid)
+
+    def _cells_in(self, xmin, ymin, xmax, ymax) -> Iterator[_Cell]:
+        cx0 = min(self.side - 1, max(0, int(xmin * self.side)))
+        cy0 = min(self.side - 1, max(0, int(ymin * self.side)))
+        cx1 = min(self.side - 1, max(0, int(xmax * self.side)))
+        cy1 = min(self.side - 1, max(0, int(ymax * self.side)))
+        for cy in range(cy0, cy1 + 1):
+            for cx in range(cx0, cx1 + 1):
+                yield self._cells[cy][cx]
+
+    def range_search(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> List[Tuple[int, float, float]]:
+        """All ``(oid, x, y)`` whose point lies in the closed window."""
+        results = []
+        for cell in self._cells_in(xmin, ymin, xmax, ymax):
+            self._charge(reads=len(cell.pages))
+            for page in cell.pages:
+                for x, y, oid, _stamp in page:
+                    if xmin <= x <= xmax and ymin <= y <= ymax:
+                        results.append((oid, x, y))
+        return results
+
+    # -- metrics ------------------------------------------------------------------
+
+    def num_entries(self) -> int:
+        return sum(
+            len(page)
+            for row in self._cells
+            for cell in row
+            for page in cell.pages
+        )
+
+    def num_pages(self) -> int:
+        return sum(
+            len(cell.pages) for row in self._cells for cell in row
+        )
+
+
+class MemoGrid(GridFile):
+    """Grid file with memo-based updates and a sweeping cleaner cursor."""
+
+    name = "Memo-grid"
+
+    def __init__(
+        self,
+        side: int = 16,
+        page_size: int = 2048,
+        inspection_ratio: float = 0.2,
+        clean_upon_touch: bool = True,
+        memo_buckets: int = 64,
+    ):
+        super().__init__(side, page_size, stamped=True)
+        if inspection_ratio < 0:
+            raise ValueError("inspection_ratio must be non-negative")
+        self.memo = UpdateMemo(n_buckets=memo_buckets)
+        self.stamps = StampCounter()
+        self.inspection_ratio = inspection_ratio
+        self.clean_upon_touch = clean_upon_touch
+        self._step_credit = 0.0
+        self._cursor = 0
+        self.cells_inspected = 0
+        self.entries_removed = 0
+
+    # -- memo-based operations ---------------------------------------------------
+
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        self._memo_insert(oid, x, y)
+
+    def update_object(self, oid: int, old_pos, new_pos) -> None:
+        """One insertion — the old entry goes stale wherever it lies."""
+        self._memo_insert(oid, new_pos[0], new_pos[1])
+
+    def delete_object(self, oid: int, old_pos=None) -> None:
+        self.memo.record_update(oid, self.stamps.next())
+        self._after_update()
+
+    def _memo_insert(self, oid: int, x: float, y: float) -> None:
+        stamp = self.stamps.next()
+        self.memo.record_update(oid, stamp)
+        cell = self._cell_of(x, y)
+        if self.clean_upon_touch:
+            # The chain is being read for the insertion anyway.
+            self.entries_removed += self._clean_cell(cell, charge=False)
+        self._append(cell, (x, y, oid, stamp))
+        self._after_update()
+
+    def _after_update(self) -> None:
+        self._step_credit += self.inspection_ratio
+        while self._step_credit >= 1.0:
+            self._step_credit -= 1.0
+            self._cursor_step()
+
+    def _clean_cell(self, cell: _Cell, charge: bool = True) -> int:
+        removed = 0
+        dirty_pages = 0
+        for page in cell.pages:
+            kept = [
+                entry
+                for entry in page
+                if not self.memo.is_obsolete(entry[2], entry[3])
+            ]
+            if len(kept) != len(page):
+                for entry in page:
+                    if self.memo.is_obsolete(entry[2], entry[3]):
+                        self.memo.note_cleaned(entry[2])
+                        removed += 1
+                page[:] = kept
+                dirty_pages += 1
+        # Drop emptied overflow pages (keep one page per cell).
+        cell.pages = [p for p in cell.pages if p] or [[]]
+        if charge:
+            self._charge(reads=len(cell.pages), writes=dirty_pages)
+        return removed
+
+    def _cursor_step(self) -> None:
+        row, col = divmod(self._cursor, self.side)
+        self._cursor = (self._cursor + 1) % (self.side * self.side)
+        self.cells_inspected += 1
+        self.entries_removed += self._clean_cell(self._cells[row][col])
+
+    def run_full_sweep(self) -> int:
+        """Clean every cell once (the grid's Property 1)."""
+        removed_before = self.entries_removed
+        for _ in range(self.side * self.side):
+            self._cursor_step()
+        return self.entries_removed - removed_before
+
+    # -- filtered queries -----------------------------------------------------------
+
+    def range_search(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> List[Tuple[int, float, float]]:
+        results = []
+        for cell in self._cells_in(xmin, ymin, xmax, ymax):
+            self._charge(reads=len(cell.pages))
+            for page in cell.pages:
+                for x, y, oid, stamp in page:
+                    if (
+                        xmin <= x <= xmax
+                        and ymin <= y <= ymax
+                        and self.memo.check_status(oid, stamp) == LATEST
+                    ):
+                        results.append((oid, x, y))
+        return results
+
+    def garbage_count(self) -> int:
+        return sum(
+            1
+            for row in self._cells
+            for cell in row
+            for page in cell.pages
+            for entry in page
+            if self.memo.is_obsolete(entry[2], entry[3])
+        )

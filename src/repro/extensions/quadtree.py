@@ -1,0 +1,320 @@
+"""Memo-based updates for a point quadtree — completing the conclusion's
+trio ("B-trees, quadtrees and Grid Files").
+
+A PR (point-region) quadtree over the unit square: leaf buckets hold up to
+a page worth of points; a full bucket subdivides into four quadrant
+children.  Internal nodes are memory-cached (they are tiny); leaf buckets
+are charged one read and one write per touched page, the same accounting
+as everywhere else in this repository.
+
+* :class:`PRQuadtree` — classic updates: descend by the old position,
+  remove the entry, re-insert at the new position;
+* :class:`MemoQuadtree` — memo-based updates: stamp + insert only, with
+  the shared :class:`~repro.core.memo.UpdateMemo`, clean-upon-touch, and
+  a cleaning cursor that sweeps the leaves in rotation.
+
+Empty sibling quadrants are *not* merged back (lazy deletion), which is
+the common engineering choice and keeps both variants comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.memo import LATEST, UpdateMemo
+from repro.core.stamp import StampCounter
+from repro.storage.iostats import IOStats
+
+CLASSIC_ENTRY_BYTES = 24  # x, y (float64) + oid (int64)
+MEMO_ENTRY_BYTES = 32     # + stamp
+PAGE_HEADER_BYTES = 32
+
+#: Subdivision stops at this depth; the bucket then grows past its
+#: capacity (degenerate duplicate-heavy data would otherwise split
+#: forever).
+MAX_DEPTH = 16
+
+Entry = Tuple[float, float, int, int]  # x, y, oid, stamp
+
+
+class _QuadNode:
+    """One quadtree node covering the square [x0, x0+size) x [y0, y0+size)."""
+
+    __slots__ = ("x0", "y0", "size", "depth", "entries", "children")
+
+    def __init__(self, x0: float, y0: float, size: float, depth: int):
+        self.x0 = x0
+        self.y0 = y0
+        self.size = size
+        self.depth = depth
+        self.entries: Optional[List[Entry]] = []  # None for internal nodes
+        self.children: Optional[List["_QuadNode"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+    def child_for(self, x: float, y: float) -> "_QuadNode":
+        half = self.size / 2.0
+        index = (1 if x >= self.x0 + half else 0) + (
+            2 if y >= self.y0 + half else 0
+        )
+        return self.children[index]
+
+    def intersects(self, xmin, ymin, xmax, ymax) -> bool:
+        return (
+            self.x0 <= xmax
+            and xmin <= self.x0 + self.size
+            and self.y0 <= ymax
+            and ymin <= self.y0 + self.size
+        )
+
+
+class PRQuadtree:
+    """Classic PR quadtree with top-down (delete + insert) updates."""
+
+    name = "PR quadtree"
+
+    def __init__(self, page_size: int = 2048, stamped: bool = False):
+        entry_bytes = MEMO_ENTRY_BYTES if stamped else CLASSIC_ENTRY_BYTES
+        self.bucket_cap = max(2, (page_size - PAGE_HEADER_BYTES) // entry_bytes)
+        self.stats = IOStats()
+        self.root = _QuadNode(0.0, 0.0, 1.0, 0)
+
+    # -- accounting -----------------------------------------------------------
+
+    def _charge(self, reads: int = 0, writes: int = 0) -> None:
+        self.stats.leaf_reads += reads
+        self.stats.leaf_writes += writes
+
+    def _pages(self, leaf: _QuadNode) -> int:
+        """Bucket page count (over-capacity deep buckets chain pages)."""
+        return max(1, -(-len(leaf.entries) // self.bucket_cap))
+
+    # -- descent ---------------------------------------------------------------
+
+    def _find_leaf(self, x: float, y: float) -> _QuadNode:
+        node = self.root
+        while not node.is_leaf:
+            node = node.child_for(x, y)
+        return node
+
+    def _split(self, leaf: _QuadNode) -> None:
+        half = leaf.size / 2.0
+        leaf.children = [
+            _QuadNode(leaf.x0, leaf.y0, half, leaf.depth + 1),
+            _QuadNode(leaf.x0 + half, leaf.y0, half, leaf.depth + 1),
+            _QuadNode(leaf.x0, leaf.y0 + half, half, leaf.depth + 1),
+            _QuadNode(leaf.x0 + half, leaf.y0 + half, half, leaf.depth + 1),
+        ]
+        entries = leaf.entries
+        leaf.entries = None
+        for entry in entries:
+            child = leaf.child_for(entry[0], entry[1])
+            child.entries.append(entry)
+        # Four fresh buckets written out.
+        self._charge(writes=4)
+
+    def _insert_entry(self, entry: Entry) -> _QuadNode:
+        leaf = self._find_leaf(entry[0], entry[1])
+        self._charge(reads=self._pages(leaf), writes=1)
+        leaf.entries.append(entry)
+        while (
+            len(leaf.entries) > self.bucket_cap
+            and leaf.depth < MAX_DEPTH
+        ):
+            self._split(leaf)
+            leaf = leaf.child_for(entry[0], entry[1])
+        return leaf
+
+    # -- moving-object protocol ---------------------------------------------------
+
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        self._insert_entry((x, y, oid, 0))
+
+    def update_object(self, oid: int, old_pos, new_pos) -> None:
+        """Classic update: remove at the old position, insert at the new."""
+        self._remove(oid, old_pos)
+        self._insert_entry((new_pos[0], new_pos[1], oid, 0))
+
+    def delete_object(self, oid: int, old_pos) -> None:
+        self._remove(oid, old_pos)
+
+    def _remove(self, oid: int, old_pos) -> None:
+        leaf = self._find_leaf(old_pos[0], old_pos[1])
+        self._charge(reads=self._pages(leaf), writes=1)
+        for i, entry in enumerate(leaf.entries):
+            if entry[2] == oid:
+                del leaf.entries[i]
+                return
+        raise KeyError(oid)
+
+    def range_search(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> List[Tuple[int, float, float]]:
+        """All ``(oid, x, y)`` inside the closed query window."""
+        results: List[Tuple[int, float, float]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.intersects(xmin, ymin, xmax, ymax):
+                continue
+            if node.is_leaf:
+                self._charge(reads=self._pages(node))
+                for x, y, oid, _stamp in node.entries:
+                    if xmin <= x <= xmax and ymin <= y <= ymax:
+                        results.append((oid, x, y))
+            else:
+                stack.extend(node.children)
+        return results
+
+    # -- introspection ----------------------------------------------------------
+
+    def iter_leaves(self) -> Iterator[_QuadNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.children)
+
+    def num_entries(self) -> int:
+        return sum(len(leaf.entries) for leaf in self.iter_leaves())
+
+    def num_leaves(self) -> int:
+        return sum(1 for _ in self.iter_leaves())
+
+    def depth(self) -> int:
+        return max(
+            (leaf.depth for leaf in self.iter_leaves()), default=0
+        )
+
+
+class MemoQuadtree(PRQuadtree):
+    """PR quadtree with memo-based updates (the RUM principle)."""
+
+    name = "Memo-quadtree"
+
+    def __init__(
+        self,
+        page_size: int = 2048,
+        inspection_ratio: float = 0.2,
+        clean_upon_touch: bool = True,
+        memo_buckets: int = 64,
+    ):
+        super().__init__(page_size, stamped=True)
+        if inspection_ratio < 0:
+            raise ValueError("inspection_ratio must be non-negative")
+        self.memo = UpdateMemo(n_buckets=memo_buckets)
+        self.stamps = StampCounter()
+        self.inspection_ratio = inspection_ratio
+        self.clean_upon_touch = clean_upon_touch
+        self._step_credit = 0.0
+        self._sweep_queue: List[_QuadNode] = []
+        self.leaves_inspected = 0
+        self.entries_removed = 0
+
+    # -- memo-based operations ---------------------------------------------------
+
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        self._memo_insert(oid, x, y)
+
+    def update_object(self, oid: int, old_pos, new_pos) -> None:
+        """One insertion; the old entry becomes obsolete wherever it is."""
+        self._memo_insert(oid, new_pos[0], new_pos[1])
+
+    def delete_object(self, oid: int, old_pos=None) -> None:
+        self.memo.record_update(oid, self.stamps.next())
+        self._after_update()
+
+    def _memo_insert(self, oid: int, x: float, y: float) -> None:
+        stamp = self.stamps.next()
+        self.memo.record_update(oid, stamp)
+        leaf = self._find_leaf(x, y)
+        if self.clean_upon_touch:
+            self.entries_removed += self._clean_leaf(leaf, charge=False)
+        self._charge(reads=self._pages(leaf), writes=1)
+        leaf.entries.append((x, y, oid, stamp))
+        while (
+            len(leaf.entries) > self.bucket_cap
+            and leaf.depth < MAX_DEPTH
+        ):
+            self._split(leaf)
+            leaf = leaf.child_for(x, y)
+        self._after_update()
+
+    def _after_update(self) -> None:
+        self._step_credit += self.inspection_ratio
+        while self._step_credit >= 1.0:
+            self._step_credit -= 1.0
+            self._cursor_step()
+
+    def _clean_leaf(self, leaf: _QuadNode, charge: bool = True) -> int:
+        if charge:
+            self._charge(reads=self._pages(leaf))
+        removed = 0
+        kept: List[Entry] = []
+        for entry in leaf.entries:
+            if self.memo.is_obsolete(entry[2], entry[3]):
+                self.memo.note_cleaned(entry[2])
+                removed += 1
+            else:
+                kept.append(entry)
+        if removed:
+            leaf.entries[:] = kept
+            if charge:
+                self._charge(writes=1)
+        return removed
+
+    def _cursor_step(self) -> None:
+        """Sweep the next leaf in rotation (DFS order, re-snapshot when the
+        queue drains — splits between sweeps are picked up then)."""
+        while True:
+            if not self._sweep_queue:
+                self._sweep_queue = list(self.iter_leaves())
+            leaf = self._sweep_queue.pop()
+            if leaf.is_leaf:  # skip leaves split since the snapshot
+                break
+        self.leaves_inspected += 1
+        self.entries_removed += self._clean_leaf(leaf)
+
+    def run_full_sweep(self) -> int:
+        """Clean every current leaf once (quadtree Property 1)."""
+        removed_before = self.entries_removed
+        self._sweep_queue = []
+        for _ in range(self.num_leaves()):
+            self._cursor_step()
+        return self.entries_removed - removed_before
+
+    # -- filtered queries -----------------------------------------------------------
+
+    def range_search(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> List[Tuple[int, float, float]]:
+        results: List[Tuple[int, float, float]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.intersects(xmin, ymin, xmax, ymax):
+                continue
+            if node.is_leaf:
+                self._charge(reads=self._pages(node))
+                for x, y, oid, stamp in node.entries:
+                    if (
+                        xmin <= x <= xmax
+                        and ymin <= y <= ymax
+                        and self.memo.check_status(oid, stamp) == LATEST
+                    ):
+                        results.append((oid, x, y))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def garbage_count(self) -> int:
+        return sum(
+            1
+            for leaf in self.iter_leaves()
+            for entry in leaf.entries
+            if self.memo.is_obsolete(entry[2], entry[3])
+        )

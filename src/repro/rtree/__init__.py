@@ -1,0 +1,44 @@
+"""R-tree substrate: geometry, nodes, splits, and the two baseline trees.
+
+* :class:`~repro.rtree.rstar.RStarTree` — R*-tree with top-down updates
+  (Figure 1a of the paper);
+* :class:`~repro.rtree.fur.FURTree` — FUR-tree with bottom-up updates and a
+  disk-resident secondary index (Figure 1b);
+* :class:`~repro.rtree.base.RTreeBase` — the shared R*-insertion machinery
+  the RUM-tree also builds on.
+"""
+
+from .base import RTreeBase
+from .bulk import bulk_load_objects, str_bulk_load
+from .fur import FURTree
+from .geometry import Rect, UNIT_SQUARE, containment_probability
+from .node import IndexEntry, LeafEntry, Node, NO_PAGE
+from .rstar import ObjectNotFoundError, RStarTree
+from .secondary_index import SecondaryIndex
+from .split import (
+    REINSERT_FRACTION,
+    choose_reinsert_entries,
+    quadratic_split,
+    rstar_split,
+)
+
+__all__ = [
+    "RTreeBase",
+    "str_bulk_load",
+    "bulk_load_objects",
+    "RStarTree",
+    "FURTree",
+    "SecondaryIndex",
+    "ObjectNotFoundError",
+    "Rect",
+    "UNIT_SQUARE",
+    "containment_probability",
+    "IndexEntry",
+    "LeafEntry",
+    "Node",
+    "NO_PAGE",
+    "rstar_split",
+    "quadratic_split",
+    "choose_reinsert_entries",
+    "REINSERT_FRACTION",
+]

@@ -1,0 +1,681 @@
+"""Disk-based R-tree with R* insertion — the common substrate.
+
+All three trees of the paper's evaluation (R*-tree, FUR-tree, RUM-tree) are
+built on this class.  It implements:
+
+* R* ChooseSubtree (overlap-minimising at the leaf-parent level, with the
+  usual candidate-list optimisation) and the R* topological split with
+  forced reinsertion;
+* top-down deletion with Guttman's CondenseTree (underflowing nodes are
+  dissolved and their entries reinserted);
+* windowed range search;
+* the doubly-linked circular **leaf ring** needed by the RUM-tree's
+  cleaning tokens (Section 3.3.1), maintained through splits and condenses;
+* an in-memory **parent directory** enabling bottom-up MBR adjustment (the
+  RUM-tree cleaner and the FUR-tree both need to walk upwards from a leaf).
+
+Every public operation wraps its page accesses in one buffer-pool operation
+so that I/O is charged per the paper's model: each distinct leaf page costs
+at most one read and one write per logical operation, internal nodes are
+free (cached).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.storage.buffer import BufferPool
+
+from .geometry import Rect
+from .node import IndexEntry, LeafEntry, Node
+from .split import choose_reinsert_entries, quadratic_split, rstar_split
+
+SplitFunction = Callable[[Sequence, int], Tuple[list, list]]
+
+_SPLIT_FUNCTIONS: Dict[str, SplitFunction] = {
+    "rstar": rstar_split,
+    "quadratic": quadratic_split,
+}
+
+
+class RTreeBase:
+    """Height-balanced R-tree over a :class:`BufferPool`.
+
+    Parameters
+    ----------
+    buffer:
+        The storage stack (disk + codec + counters) this tree lives on.
+    split:
+        ``"rstar"`` (default) or ``"quadratic"``.
+    forced_reinsert:
+        Enable R* forced reinsertion on first overflow per level per
+        operation (default on; the ablation benches switch it off).
+    min_fill:
+        Minimum node occupancy as a fraction of capacity (R* default 0.4).
+    maintain_leaf_ring:
+        Keep the circular doubly-linked leaf list up to date.  The RUM-tree
+        needs it for cleaning tokens; the baselines leave it off to avoid
+        charging them the ring-maintenance writes.
+    choose_subtree_candidates:
+        Size of the candidate list for the R* overlap-minimising
+        ChooseSubtree at the leaf-parent level.
+    attach:
+        Adopt an existing on-disk tree instead of creating a fresh root:
+        a dict with ``root_id``, ``height``, and ``parent`` (the parent
+        directory).  Used by :mod:`repro.persistence` to re-open saved
+        indexes.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        *,
+        split: str = "rstar",
+        forced_reinsert: bool = True,
+        min_fill: float = 0.4,
+        maintain_leaf_ring: bool = False,
+        choose_subtree_candidates: int = 8,
+        attach: Optional[Dict] = None,
+    ):
+        if split not in _SPLIT_FUNCTIONS:
+            raise ValueError(f"unknown split policy {split!r}")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.buffer = buffer
+        self.stats = buffer.stats
+        self.split_fn: SplitFunction = _SPLIT_FUNCTIONS[split]
+        self.forced_reinsert = forced_reinsert
+        self.maintain_leaf_ring = maintain_leaf_ring
+        self.choose_subtree_candidates = choose_subtree_candidates
+
+        codec = buffer.codec
+        self.leaf_cap = codec.leaf_cap
+        self.index_cap = codec.index_cap
+        self.min_leaf = max(2, min(int(self.leaf_cap * min_fill),
+                                   self.leaf_cap // 2))
+        self.min_index = max(2, min(int(self.index_cap * min_fill),
+                                    self.index_cap // 2))
+
+        #: child page id -> parent page id (root has no entry).
+        self.parent: Dict[int, int] = {}
+
+        if attach is not None:
+            self.root_id = attach["root_id"]
+            self.height = attach["height"]
+            self.parent = dict(attach["parent"])
+        else:
+            with buffer.operation():
+                root = buffer.new_node(is_leaf=True)
+                root.prev_leaf = root.page_id
+                root.next_leaf = root.page_id
+            self.root_id = root.page_id
+            self.height = 1
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, oid: int, stamp: int = 0) -> None:
+        """Insert one object entry (1 leaf read + 1 leaf write typically)."""
+        with self.buffer.operation():
+            self._insert(LeafEntry(rect, oid, stamp), 0, set())
+
+    def _insert(self, entry, level: int, reinserted: Set[int]) -> Node:
+        """Insert ``entry`` into some node at ``level``; returns that node."""
+        node = self._choose_node(entry.rect, level)
+        node.entries.append(entry)
+        if not node.is_leaf:
+            self.parent[entry.child_id] = node.page_id
+        self.buffer.mark_dirty(node)
+        if node.is_leaf:
+            self._on_entry_placed(node, entry)
+        self._adjust_upward(node)
+        self._handle_overflow(node, level, reinserted)
+        return node
+
+    def _on_entry_placed(self, node: Node, entry: LeafEntry) -> None:
+        """Hook: ``entry`` was just placed into leaf ``node``.
+
+        Called *before* overflow handling, so a subclass tracking entry
+        locations (the FUR-tree's secondary index) sees relocations caused
+        by splits/reinserts afterwards and ends up with the final leaf.
+        """
+
+    def _choose_node(self, rect: Rect, level: int) -> Node:
+        """Descend from the root to a node at ``level`` (leaves = level 0)."""
+        if level >= self.height:
+            raise ValueError(
+                f"target level {level} but tree height is {self.height}"
+            )
+        node = self.buffer.get_node(self.root_id)
+        current = self.height - 1
+        while current > level:
+            idx = self._choose_child_index(node, rect, current == 1)
+            node = self.buffer.get_node(node.entries[idx].child_id)
+            current -= 1
+        return node
+
+    def _choose_child_index(
+        self, node: Node, rect: Rect, leaf_children: bool
+    ) -> int:
+        """R* ChooseSubtree.
+
+        At the level directly above the leaves the R*-tree minimises
+        *overlap enlargement* over a candidate list of least-enlargement
+        children; everywhere else it minimises area enlargement (ties by
+        area).
+        """
+        entries = node.entries
+        if len(entries) == 1:
+            return 0
+        rx1, ry1, rx2, ry2 = rect.xmin, rect.ymin, rect.xmax, rect.ymax
+        coords = []
+        enlargements = []
+        for i, e in enumerate(entries):
+            er = e.rect
+            ex1, ey1, ex2, ey2 = er.xmin, er.ymin, er.xmax, er.ymax
+            coords.append((ex1, ey1, ex2, ey2))
+            ux1 = ex1 if ex1 < rx1 else rx1
+            uy1 = ey1 if ey1 < ry1 else ry1
+            ux2 = ex2 if ex2 > rx2 else rx2
+            uy2 = ey2 if ey2 > ry2 else ry2
+            area = (ex2 - ex1) * (ey2 - ey1)
+            enlargements.append(
+                ((ux2 - ux1) * (uy2 - uy1) - area, area, i)
+            )
+        if not leaf_children:
+            return min(enlargements)[2]
+
+        enlargements.sort()
+        if enlargements[0][0] == 0.0:
+            # The new rect fits a child MBR without growing it: that child
+            # cannot increase any overlap, so (overlap-delta, enlargement,
+            # area) is already minimal for the least-area such child.
+            return enlargements[0][2]
+        candidates = enlargements[: self.choose_subtree_candidates]
+        best_idx = candidates[0][2]
+        best_key: Optional[Tuple[float, float, float]] = None
+        for enlargement, area, i in candidates:
+            ex1, ey1, ex2, ey2 = coords[i]
+            nx1 = ex1 if ex1 < rx1 else rx1
+            ny1 = ey1 if ey1 < ry1 else ry1
+            nx2 = ex2 if ex2 > rx2 else rx2
+            ny2 = ey2 if ey2 > ry2 else ry2
+            overlap_delta = 0.0
+            for j, (ox1, oy1, ox2, oy2) in enumerate(coords):
+                if j == i:
+                    continue
+                w = (nx2 if nx2 < ox2 else ox2) - (nx1 if nx1 > ox1 else ox1)
+                if w > 0.0:
+                    h = (ny2 if ny2 < oy2 else oy2) - (
+                        ny1 if ny1 > oy1 else oy1
+                    )
+                    if h > 0.0:
+                        overlap_delta += w * h
+                w = (ex2 if ex2 < ox2 else ox2) - (ex1 if ex1 > ox1 else ox1)
+                if w > 0.0:
+                    h = (ey2 if ey2 < oy2 else oy2) - (
+                        ey1 if ey1 > oy1 else oy1
+                    )
+                    if h > 0.0:
+                        overlap_delta -= w * h
+            key = (overlap_delta, enlargement, area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    def _handle_overflow(
+        self, node: Node, level: int, reinserted: Set[int]
+    ) -> None:
+        cap = self.leaf_cap if node.is_leaf else self.index_cap
+        if len(node.entries) <= cap:
+            return
+        if (
+            self.forced_reinsert
+            and level not in reinserted
+            and node.page_id != self.root_id
+        ):
+            reinserted.add(level)
+            keep, evicted = choose_reinsert_entries(node.entries)
+            node.entries = keep
+            self.buffer.mark_dirty(node)
+            self._adjust_upward(node)
+            for entry in evicted:
+                self._insert(entry, level, reinserted)
+        else:
+            self._split_node(node, level, reinserted)
+
+    def _split_node(
+        self, node: Node, level: int, reinserted: Set[int]
+    ) -> Node:
+        """Split an overflowing node; returns the new sibling."""
+        min_entries = self.min_leaf if node.is_leaf else self.min_index
+        left, right = self.split_fn(node.entries, min_entries)
+        node.entries = left
+        sibling = self.buffer.new_node(node.is_leaf)
+        sibling.entries = right
+        self.buffer.mark_dirty(node)
+        self.buffer.mark_dirty(sibling)
+        if node.is_leaf:
+            if self.maintain_leaf_ring:
+                self._link_leaf_after(node, sibling)
+            self._on_leaf_split(node, sibling)
+        else:
+            for entry in right:
+                self.parent[entry.child_id] = sibling.page_id
+
+        if node.page_id == self.root_id:
+            new_root = self.buffer.new_node(is_leaf=False)
+            new_root.entries = [
+                IndexEntry(node.mbr(), node.page_id),
+                IndexEntry(sibling.mbr(), sibling.page_id),
+            ]
+            self.buffer.mark_dirty(new_root)
+            self.parent[node.page_id] = new_root.page_id
+            self.parent[sibling.page_id] = new_root.page_id
+            self.root_id = new_root.page_id
+            self.height += 1
+        else:
+            parent = self.buffer.get_node(self.parent[node.page_id])
+            idx = parent.find_child_index(node.page_id)
+            parent.entries[idx] = IndexEntry(node.mbr(), node.page_id)
+            parent.entries.append(IndexEntry(sibling.mbr(), sibling.page_id))
+            self.parent[sibling.page_id] = parent.page_id
+            self.buffer.mark_dirty(parent)
+            self._adjust_upward(parent)
+            self._handle_overflow(parent, level + 1, reinserted)
+        return sibling
+
+    def _on_leaf_split(self, node: Node, sibling: Node) -> None:
+        """Hook for subclasses (the RUM-tree cleans both halves for free;
+        the FUR-tree repairs its secondary index)."""
+
+    # ------------------------------------------------------------------
+    # Bottom-up MBR adjustment
+    # ------------------------------------------------------------------
+
+    def _adjust_upward(self, node: Node) -> None:
+        """Propagate ``node``'s exact MBR into its ancestors' entries.
+
+        Internal nodes are memory-cached, so this walk is free in the
+        paper's leaf-I/O metric, matching Section 3.3's "the MBRs of its
+        ancestor nodes are adjusted".
+        """
+        current = node
+        while current.page_id != self.root_id:
+            parent = self.buffer.get_node(self.parent[current.page_id])
+            idx = parent.find_child_index(current.page_id)
+            new_mbr = current.mbr()
+            if parent.entries[idx].rect == new_mbr:
+                return
+            parent.entries[idx] = IndexEntry(new_mbr, current.page_id)
+            self.buffer.mark_dirty(parent)
+            current = parent
+
+    # ------------------------------------------------------------------
+    # Leaf ring (Section 3.3.1)
+    # ------------------------------------------------------------------
+
+    def _link_leaf_after(self, node: Node, new_leaf: Node) -> None:
+        """Insert ``new_leaf`` into the circular ring right after ``node``."""
+        new_leaf.prev_leaf = node.page_id
+        new_leaf.next_leaf = node.next_leaf
+        if node.next_leaf == node.page_id:
+            node.prev_leaf = new_leaf.page_id
+            node.next_leaf = new_leaf.page_id
+        else:
+            successor = self.buffer.get_node(node.next_leaf)
+            successor.prev_leaf = new_leaf.page_id
+            self.buffer.mark_dirty(successor)
+            node.next_leaf = new_leaf.page_id
+        self.buffer.mark_dirty(node)
+        self.buffer.mark_dirty(new_leaf)
+
+    def _unlink_leaf(self, node: Node) -> None:
+        """Remove ``node`` from the circular ring (it is being dissolved)."""
+        if node.next_leaf == node.page_id:
+            return  # sole member; the ring dies with it
+        predecessor = self.buffer.get_node(node.prev_leaf)
+        successor = self.buffer.get_node(node.next_leaf)
+        predecessor.next_leaf = node.next_leaf
+        successor.prev_leaf = node.prev_leaf
+        self.buffer.mark_dirty(predecessor)
+        self.buffer.mark_dirty(successor)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def range_search(self, window: Rect) -> List[LeafEntry]:
+        """All leaf entries whose MBR intersects ``window``.
+
+        For the RUM-tree this is the *raw* answer set that the Update Memo
+        then filters (Section 3.2.3); for the other trees it is the final
+        answer.
+        """
+        results: List[LeafEntry] = []
+        with self.buffer.operation():
+            stack = [self.root_id]
+            while stack:
+                node = self.buffer.get_node(stack.pop())
+                if node.is_leaf:
+                    results.extend(
+                        e for e in node.entries if e.rect.intersects(window)
+                    )
+                else:
+                    stack.extend(
+                        e.child_id
+                        for e in node.entries
+                        if e.rect.intersects(window)
+                    )
+        return results
+
+    def nearest_entries(self, x: float, y: float, k: int) -> List[LeafEntry]:
+        """The ``k`` leaf entries nearest to ``(x, y)`` (best-first search).
+
+        Classic incremental nearest-neighbour over the R-tree using the
+        MINDIST lower bound: internal entries are expanded in distance
+        order, so only leaves that can still contribute are read.  For the
+        RUM-tree this is a raw candidate stream that the memo then filters
+        (see :meth:`repro.core.rum.RUMTree.nearest_neighbors`).
+        """
+        if k <= 0:
+            return []
+        results: List[LeafEntry] = []
+        for entry, _dist in self.iter_nearest(x, y):
+            results.append(entry)
+            if len(results) == k:
+                break
+        return results
+
+    def iter_nearest(
+        self, x: float, y: float
+    ) -> Iterator[Tuple[LeafEntry, float]]:
+        """Yield ``(leaf entry, distance)`` pairs in increasing distance.
+
+        The traversal is lazy: each ``next()`` performs only the node
+        reads needed to guarantee the next entry is globally nearest,
+        which is what lets a filtered consumer (the RUM-tree) pull extra
+        candidates only when obsolete entries were skipped.
+        """
+        import heapq
+
+        counter = 0  # tie-breaker so heap items never compare by payload
+        heap: List[Tuple[float, int, bool, object]] = [
+            (0.0, counter, False, self.root_id)
+        ]
+        with self.buffer.operation():
+            while heap:
+                dist, _tie, is_entry, payload = heapq.heappop(heap)
+                if is_entry:
+                    yield payload, dist
+                    continue
+                # Pages are only read when their heap item is popped, so
+                # leaves beyond the k-th neighbour's distance cost nothing.
+                node = self.buffer.get_node(payload)
+                if node.is_leaf:
+                    for entry in node.entries:
+                        counter += 1
+                        heapq.heappush(
+                            heap,
+                            (entry.rect.min_dist(x, y), counter, True, entry),
+                        )
+                else:
+                    for index_entry in node.entries:
+                        counter += 1
+                        heapq.heappush(
+                            heap,
+                            (
+                                index_entry.rect.min_dist(x, y),
+                                counter,
+                                False,
+                                index_entry.child_id,
+                            ),
+                        )
+
+    # ------------------------------------------------------------------
+    # Top-down deletion (the classic R-tree update path)
+    # ------------------------------------------------------------------
+
+    def delete(self, oid: int, rect: Rect) -> bool:
+        """Search-and-delete the entry for ``oid`` with known MBR ``rect``.
+
+        This is the expensive half of the *top-down* update approach
+        (Figure 1a): the search may follow multiple paths because only
+        nodes whose MBR fully contains ``rect`` can hold the entry.
+        Returns False when no matching entry exists.
+        """
+        with self.buffer.operation():
+            found = self._find_leaf_entry(oid, rect)
+            if found is None:
+                return False
+            leaf, idx = found
+            del leaf.entries[idx]
+            self.buffer.mark_dirty(leaf)
+            self._condense(leaf)
+            return True
+
+    def _find_leaf_entry(
+        self, oid: int, rect: Rect
+    ) -> Optional[Tuple[Node, int]]:
+        stack = [self.root_id]
+        while stack:
+            node = self.buffer.get_node(stack.pop())
+            if node.is_leaf:
+                for i, entry in enumerate(node.entries):
+                    if entry.oid == oid and entry.rect == rect:
+                        return node, i
+            else:
+                stack.extend(
+                    e.child_id
+                    for e in node.entries
+                    if e.rect.contains(rect)
+                )
+        return None
+
+    def _condense(self, leaf: Node) -> None:
+        """Guttman's CondenseTree: dissolve underflowing nodes upwards and
+        reinsert their orphaned entries at their original levels."""
+        orphans: List[Tuple[int, list]] = []
+        node = leaf
+        level = 0
+        while node.page_id != self.root_id:
+            parent = self.buffer.get_node(self.parent[node.page_id])
+            min_entries = self.min_leaf if node.is_leaf else self.min_index
+            if len(node.entries) < min_entries:
+                idx = parent.find_child_index(node.page_id)
+                del parent.entries[idx]
+                self.buffer.mark_dirty(parent)
+                if node.entries:
+                    orphans.append((level, list(node.entries)))
+                if node.is_leaf and self.maintain_leaf_ring:
+                    self._unlink_leaf(node)
+                self._on_leaf_dissolved(node)
+                self.parent.pop(node.page_id, None)
+                self.buffer.free_node(node)
+            else:
+                new_idx = parent.find_child_index(node.page_id)
+                parent.entries[new_idx] = IndexEntry(
+                    node.mbr(), node.page_id
+                )
+                self.buffer.mark_dirty(parent)
+            node = parent
+            level += 1
+        self._shrink_root()
+        reinserted: Set[int] = set()
+        # Higher-level orphans first so the tree regains height before any
+        # leaf entries are routed through it.
+        for orphan_level, entries in sorted(orphans, reverse=True):
+            for entry in entries:
+                target = min(orphan_level, self.height - 1)
+                if target != orphan_level:
+                    # The tree shrank below the orphan's level: flatten the
+                    # orphaned subtree into leaf entries (rare; keeps the
+                    # structure sound).
+                    for leaf_entry in self._collect_leaf_entries(entry):
+                        self._insert(leaf_entry, 0, reinserted)
+                else:
+                    self._insert(entry, target, reinserted)
+
+    def _on_leaf_dissolved(self, node: Node) -> None:
+        """Hook for subclasses (the FUR-tree must re-point its secondary
+        index at reinsertion time; the RUM cleaner re-homes its tokens)."""
+
+    def _collect_leaf_entries(self, entry: IndexEntry) -> List[LeafEntry]:
+        """All leaf entries beneath an orphaned directory entry."""
+        collected: List[LeafEntry] = []
+        stack = [entry.child_id]
+        pages = []
+        while stack:
+            node = self.buffer.get_node(stack.pop())
+            pages.append(node)
+            if node.is_leaf:
+                collected.extend(node.entries)
+            else:
+                stack.extend(e.child_id for e in node.entries)
+        for node in pages:
+            if node.is_leaf:
+                if self.maintain_leaf_ring:
+                    self._unlink_leaf(node)
+                self._on_leaf_dissolved(node)
+            self.parent.pop(node.page_id, None)
+            self.buffer.free_node(node)
+        return collected
+
+    def _shrink_root(self) -> None:
+        while True:
+            root = self.buffer.get_node(self.root_id)
+            if root.is_leaf or len(root.entries) > 1:
+                break
+            if not root.entries:
+                # Everything was deleted: restart with an empty leaf root.
+                self.buffer.free_node(root)
+                with self.buffer.operation():
+                    new_root = self.buffer.new_node(is_leaf=True)
+                    new_root.prev_leaf = new_root.page_id
+                    new_root.next_leaf = new_root.page_id
+                self.root_id = new_root.page_id
+                self.height = 1
+                return
+            child_id = root.entries[0].child_id
+            self.buffer.free_node(root)
+            self.parent.pop(child_id, None)
+            self.root_id = child_id
+            self.height -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, metrics, cost model)
+    # ------------------------------------------------------------------
+
+    def iter_leaf_nodes(self) -> Iterator[Node]:
+        """Yield every leaf node **without charging any I/O**.
+
+        Metrics and invariant checks use this; operational code must go
+        through the buffer pool instead.
+        """
+        stack = [self.root_id]
+        while stack:
+            node = self._peek_node(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(e.child_id for e in node.entries)
+
+    def _peek_node(self, page_id: int) -> Node:
+        """Uncounted read used by introspection only.
+
+        Consults every cache layer (internal, operation, resident LRU)
+        before the raw disk page, so introspection never observes a page
+        image that in-memory state has already superseded.
+        """
+        buffer = self.buffer
+        cached = buffer._internal_cache.get(page_id)
+        if cached is not None:
+            return cached
+        cached = buffer._op_leaf_cache.get(page_id)
+        if cached is not None:
+            return cached
+        cached = buffer._lru.get(page_id)
+        if cached is not None:
+            return cached
+        return buffer.codec.decode(page_id, buffer.disk.peek(page_id))
+
+    def iter_leaf_entries(self) -> Iterator[LeafEntry]:
+        for node in self.iter_leaf_nodes():
+            yield from node.entries
+
+    def num_leaf_nodes(self) -> int:
+        return sum(1 for _ in self.iter_leaf_nodes())
+
+    def num_leaf_entries(self) -> int:
+        return sum(len(node.entries) for node in self.iter_leaf_nodes())
+
+    def leaf_mbr_sides(self) -> List[Tuple[float, float]]:
+        """Width/height of every leaf MBR (input to the Lemma-2 estimator)."""
+        return [
+            (node.mbr().width, node.mbr().height)
+            for node in self.iter_leaf_nodes()
+            if node.entries
+        ]
+
+    # -- structural invariants (used heavily by the test suite) -----------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any structural violation."""
+        root = self._peek_node(self.root_id)
+        leaf_depths: Set[int] = set()
+        leaf_ids: List[int] = []
+
+        def visit(node: Node, depth: int) -> Rect:
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                leaf_ids.append(node.page_id)
+            if node.page_id != self.root_id:
+                cap = self.leaf_cap if node.is_leaf else self.index_cap
+                minimum = self.min_leaf if node.is_leaf else self.min_index
+                assert minimum <= len(node.entries) <= cap, (
+                    f"node {node.page_id}: {len(node.entries)} entries "
+                    f"outside [{minimum}, {cap}]"
+                )
+            if not node.is_leaf:
+                for entry in node.entries:
+                    assert self.parent.get(entry.child_id) == node.page_id, (
+                        f"parent directory stale for child {entry.child_id}"
+                    )
+                    child = self._peek_node(entry.child_id)
+                    child_mbr = visit(child, depth + 1)
+                    assert entry.rect == child_mbr, (
+                        f"directory MBR of child {entry.child_id} is stale"
+                    )
+            return node.mbr()
+
+        if root.entries:
+            visit(root, 0)
+            assert len(leaf_depths) <= 1, "tree is not height-balanced"
+            if leaf_depths:
+                assert leaf_depths == {self.height - 1}, (
+                    f"height {self.height} but leaves at depth {leaf_depths}"
+                )
+        if self.maintain_leaf_ring and leaf_ids:
+            self._check_ring(set(leaf_ids))
+
+    def _check_ring(self, expected: Set[int]) -> None:
+        start = next(iter(expected))
+        seen: Set[int] = set()
+        current = start
+        for _ in range(len(expected) + 1):
+            assert current in expected, f"ring visits foreign page {current}"
+            assert current not in seen, f"ring revisits page {current}"
+            seen.add(current)
+            node = self._peek_node(current)
+            successor = self._peek_node(node.next_leaf)
+            assert successor.prev_leaf == current, (
+                f"ring back-pointer broken at {node.next_leaf}"
+            )
+            current = node.next_leaf
+            if current == start:
+                break
+        assert seen == expected, (
+            f"ring covers {len(seen)} of {len(expected)} leaves"
+        )

@@ -1,0 +1,144 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+Building a tree by repeated insertion is how the paper's experiments age
+their indexes, but a production library also needs a fast initial build.
+STR (Leutenegger et al.) packs a static set of rectangles bottom-up:
+
+1. sort the entries by x-centre and cut them into ``S`` vertical slabs,
+   where ``S = ceil(sqrt(N / capacity))``;
+2. sort each slab by y-centre and chop it into full leaves;
+3. repeat one level up on the leaf MBRs until a single root remains.
+
+The loader works on a *fresh* tree of any variant: it writes the packed
+leaf level through the buffer pool (one leaf write per created page),
+maintains the doubly-linked leaf ring (the RUM-tree's cleaner needs it),
+fills the parent directory, and leaves the tree ready for normal updates.
+For a RUM-tree the caller's entries already carry stamps and the memo is
+recorded by :func:`bulk_load_objects`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from .base import RTreeBase
+from .geometry import Rect
+from .node import IndexEntry, LeafEntry, Node
+
+
+def _tile(
+    entries: Sequence, capacity: int, min_entries: int = 1
+) -> List[List]:
+    """STR tiling of entries (anything with ``.rect``) into groups of at
+    most ``capacity`` and (when more than one group exists) at least
+    ``min_entries`` — the trailing group of each slab is rebalanced from
+    its predecessor so the packed tree honours the fanout lower bound."""
+    n = len(entries)
+    n_groups = -(-n // capacity)
+    n_slabs = max(1, math.ceil(math.sqrt(n_groups)))
+    per_slab = n_slabs * capacity
+    by_x = sorted(entries, key=lambda e: e.rect.center()[0])
+    groups: List[List] = []
+    for s in range(0, n, per_slab):
+        slab = sorted(
+            by_x[s:s + per_slab], key=lambda e: e.rect.center()[1]
+        )
+        for g in range(0, len(slab), capacity):
+            groups.append(list(slab[g:g + capacity]))
+    if len(groups) > 1:
+        for i in range(len(groups) - 1, 0, -1):
+            deficit = min_entries - len(groups[i])
+            if deficit > 0 and len(groups[i - 1]) - deficit >= min_entries:
+                groups[i][:0] = groups[i - 1][-deficit:]
+                del groups[i - 1][-deficit:]
+    return groups
+
+
+def str_bulk_load(tree: RTreeBase, entries: Iterable[LeafEntry]) -> None:
+    """Pack ``entries`` into ``tree``, which must be empty.
+
+    The target fill is 100% of capacity minus headroom for the minimum
+    fill guarantee after the first few deletions; we pack to the full
+    capacity like the original STR (updates rebalance naturally).
+    """
+    entries = list(entries)
+    root = tree.buffer.get_node(tree.root_id)
+    if tree.height != 1 or root.entries:
+        raise ValueError("bulk load requires a freshly created tree")
+    if not entries:
+        return
+
+    with tree.buffer.operation():
+        # ------------------------------------------------ leaf level
+        groups = _tile(entries, tree.leaf_cap, tree.min_leaf)
+        if len(groups) == 1:
+            root.entries = groups[0]
+            tree.buffer.mark_dirty(root)
+            return
+        # Repurpose the empty root page as the first packed leaf so no
+        # page is wasted.
+        leaves: List[Node] = [root]
+        for _ in range(len(groups) - 1):
+            leaves.append(tree.buffer.new_node(is_leaf=True))
+        for node, group in zip(leaves, groups):
+            node.entries = group
+        if tree.maintain_leaf_ring:
+            for i, node in enumerate(leaves):
+                node.prev_leaf = leaves[i - 1].page_id
+                node.next_leaf = leaves[(i + 1) % len(leaves)].page_id
+        for node in leaves:
+            tree.buffer.mark_dirty(node)
+
+        # ------------------------------------------------ index levels
+        level_nodes: List[Node] = leaves
+        height = 1
+        while len(level_nodes) > 1:
+            parent_entries = [
+                IndexEntry(node.mbr(), node.page_id) for node in level_nodes
+            ]
+            groups = _tile(parent_entries, tree.index_cap, tree.min_index)
+            parents = [
+                tree.buffer.new_node(is_leaf=False) for _ in groups
+            ]
+            for parent, group in zip(parents, groups):
+                parent.entries = group
+                for entry in group:
+                    tree.parent[entry.child_id] = parent.page_id
+                tree.buffer.mark_dirty(parent)
+            level_nodes = parents
+            height += 1
+
+        tree.root_id = level_nodes[0].page_id
+        tree.parent.pop(tree.root_id, None)
+        tree.height = height
+
+
+def bulk_load_objects(
+    tree, objects: Iterable[Tuple[int, Rect]]
+) -> int:
+    """Bulk-load ``(oid, rect)`` pairs into any of the three tree variants.
+
+    Handles each variant's side structures: RUM-trees get stamped entries
+    and memo records; FUR-trees get their secondary index filled (batched
+    per bucket).  Returns the number of objects loaded.
+    """
+    pairs = list(objects)
+    memo = getattr(tree, "memo", None)
+    stamps = getattr(tree, "stamps", None)
+    entries = []
+    for oid, rect in pairs:
+        stamp = stamps.next() if stamps is not None else 0
+        if memo is not None:
+            memo.record_update(oid, stamp)
+        entries.append(LeafEntry(rect, oid, stamp))
+    str_bulk_load(tree, entries)
+    index = getattr(tree, "index", None)
+    if index is not None:
+        location = []
+        for leaf in tree.iter_leaf_nodes():
+            location.extend(
+                (entry.oid, leaf.page_id) for entry in leaf.entries
+            )
+        index.assign_many(location)
+    return len(pairs)

@@ -1,0 +1,167 @@
+"""R-tree node and entry objects.
+
+A node is one disk page.  Leaf entries follow the paper exactly:
+
+* classic R-tree / R*-tree / FUR-tree leaf entry: ``(MBR_o, p_o)`` where the
+  pointer ``p_o`` doubles as the object identifier — 40 bytes on disk;
+* RUM-tree leaf entry (Section 3.1): ``(MBR_o, p_o, oid, stamp)`` —
+  56 bytes on disk, which is what gives the RUM-tree its smaller leaf
+  fanout and the ~10% search-cost penalty observed in Section 5.
+
+Internal (directory) entries are ``(MBR_c, p_c)`` — 40 bytes.
+
+Leaf nodes additionally carry ``prev_leaf``/``next_leaf`` page ids forming
+the doubly-linked circular ring that the RUM-tree's cleaning tokens walk
+(Section 3.3.1).  Non-RUM trees simply leave the ring untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .geometry import Rect
+
+#: Disk page id used to mean "no page".
+NO_PAGE = -1
+
+#: Bytes per on-disk leaf entry in the classic layout: 4 float64 MBR
+#: coordinates plus one 8-byte pointer/oid.
+CLASSIC_LEAF_ENTRY_BYTES = 40
+
+#: Bytes per on-disk RUM-tree leaf entry: classic layout plus an 8-byte oid
+#: and an 8-byte stamp (Section 3.1).
+RUM_LEAF_ENTRY_BYTES = 56
+
+#: Bytes per on-disk directory entry: MBR plus child page id.
+INDEX_ENTRY_BYTES = 40
+
+#: Fixed per-node header: flags, entry count, prev/next leaf pointers and
+#: padding.  See :mod:`repro.storage.codec` for the exact layout.
+NODE_HEADER_BYTES = 32
+
+
+class LeafEntry:
+    """One indexed object instance inside a leaf node.
+
+    ``stamp`` is only meaningful in the RUM-tree, where it is the globally
+    unique insertion stamp used to tell the latest entry from obsolete
+    entries.  Classic trees keep it at 0 and never serialise it.
+    """
+
+    __slots__ = ("rect", "oid", "stamp")
+
+    def __init__(self, rect: Rect, oid: int, stamp: int = 0):
+        self.rect = rect
+        self.oid = oid
+        self.stamp = stamp
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LeafEntry):
+            return NotImplemented
+        return (
+            self.rect == other.rect
+            and self.oid == other.oid
+            and self.stamp == other.stamp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rect, self.oid, self.stamp))
+
+    def __repr__(self) -> str:
+        return f"LeafEntry({self.rect!r}, oid={self.oid}, stamp={self.stamp})"
+
+
+class IndexEntry:
+    """One directory entry: the MBR of a child node plus its page id."""
+
+    __slots__ = ("rect", "child_id")
+
+    def __init__(self, rect: Rect, child_id: int):
+        self.rect = rect
+        self.child_id = child_id
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IndexEntry):
+            return NotImplemented
+        return self.rect == other.rect and self.child_id == other.child_id
+
+    def __hash__(self) -> int:
+        return hash((self.rect, self.child_id))
+
+    def __repr__(self) -> str:
+        return f"IndexEntry({self.rect!r}, child={self.child_id})"
+
+
+Entry = Union[LeafEntry, IndexEntry]
+
+
+class Node:
+    """One R-tree node, mapped 1:1 onto a disk page.
+
+    The node does not know its parent: parent relationships live in the
+    tree's in-memory parent directory (see DESIGN.md), which keeps leaf
+    pages free of volatile back-pointers while still enabling the cleaner's
+    bottom-up MBR adjustment.
+    """
+
+    __slots__ = ("page_id", "is_leaf", "entries", "prev_leaf", "next_leaf")
+
+    def __init__(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        entries: Optional[List[Entry]] = None,
+        prev_leaf: int = NO_PAGE,
+        next_leaf: int = NO_PAGE,
+    ):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.entries: List[Entry] = entries if entries is not None else []
+        self.prev_leaf = prev_leaf
+        self.next_leaf = next_leaf
+
+    def mbr(self) -> Rect:
+        """The MBR covering all entries; raises on an empty node."""
+        return Rect.union_all(e.rect for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def find_child_index(self, child_id: int) -> int:
+        """Position of the directory entry pointing at ``child_id``.
+
+        Raises ``KeyError`` when the child is not referenced by this node,
+        which would indicate a corrupted parent directory.
+        """
+        for i, entry in enumerate(self.entries):
+            if entry.child_id == child_id:
+                return i
+        raise KeyError(
+            f"node {self.page_id} has no entry for child {child_id}"
+        )
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "index"
+        return (
+            f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"
+        )
+
+
+def leaf_capacity(node_size: int, entry_bytes: int) -> int:
+    """Maximum number of leaf entries that fit a page of ``node_size`` bytes.
+
+    The paper's Table 1 sweeps node sizes 1024–8192; the fanout falls out of
+    this computation, e.g. 8192-byte pages hold 204 classic entries but only
+    145 RUM entries.
+    """
+    capacity = (node_size - NODE_HEADER_BYTES) // entry_bytes
+    if capacity < 4:
+        raise ValueError(
+            f"node size {node_size} too small for entry size {entry_bytes}"
+        )
+    return capacity
+
+
+def index_capacity(node_size: int) -> int:
+    """Maximum number of directory entries per internal page."""
+    return leaf_capacity(node_size, INDEX_ENTRY_BYTES)

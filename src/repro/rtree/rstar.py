@@ -1,0 +1,77 @@
+"""The R*-tree baseline with top-down updates.
+
+This is the paper's first comparison point (Figure 1a): an update is a
+separate top-down *search & delete* of the old entry followed by a
+single-path *insert* of the new entry.  The deletion search is the costly
+part — it may follow multiple paths because R-tree node MBRs overlap — and
+is exactly what the RUM-tree's memo-based approach eliminates.
+
+The class also defines the small *moving-object index* protocol shared by
+all three trees so the experiment harness can drive them uniformly:
+``insert_object`` / ``update_object`` / ``delete_object`` / ``search``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.storage.buffer import BufferPool
+
+from .base import RTreeBase
+from .geometry import Rect
+
+
+class ObjectNotFoundError(KeyError):
+    """Raised when a top-down update cannot locate the old entry."""
+
+
+class RStarTree(RTreeBase):
+    """R*-tree [1] indexing the current positions of moving objects."""
+
+    name = "R*-tree"
+
+    def __init__(self, buffer: BufferPool, **kwargs):
+        kwargs.setdefault("maintain_leaf_ring", False)
+        super().__init__(buffer, **kwargs)
+
+    # -- moving-object index protocol --------------------------------------
+
+    def insert_object(self, oid: int, rect: Rect) -> None:
+        """Index a new object (single-path R* insertion)."""
+        self.insert(rect, oid)
+
+    def update_object(self, oid: int, old_rect: Rect, new_rect: Rect) -> None:
+        """Top-down update: search & delete the old entry, insert the new.
+
+        ``old_rect`` must be the exact MBR currently stored for ``oid`` —
+        the classic approach requires the old value, one of the maintenance
+        burdens the RUM-tree removes (Section 3.2.1).
+
+        Deletion and insertion run as two separate disk operations, so the
+        cost matches the paper's accounting ``IO_TD = IO_search + 3``
+        (Section 4.2.1) even when the object stays in the same leaf.
+        """
+        if not self.delete(oid, old_rect):
+            raise ObjectNotFoundError(oid)
+        self.insert(new_rect, oid)
+
+    def delete_object(self, oid: int, old_rect: Rect) -> None:
+        """Remove an object entirely (top-down search & delete)."""
+        if not self.delete(oid, old_rect):
+            raise ObjectNotFoundError(oid)
+
+    def search(self, window: Rect) -> List[Tuple[int, Rect]]:
+        """All objects whose current MBR intersects ``window``."""
+        return [(e.oid, e.rect) for e in self.range_search(window)]
+
+    def nearest_neighbors(
+        self, x: float, y: float, k: int
+    ) -> List[Tuple[int, Rect]]:
+        """The ``k`` objects nearest to ``(x, y)``, nearest first."""
+        return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+
+    def lookup(self, oid: int, rect: Rect) -> Optional[Rect]:
+        """Return the stored MBR for ``oid`` (testing aid)."""
+        with self.buffer.operation():
+            found = self._find_leaf_entry(oid, rect)
+        return found[0].entries[found[1]].rect if found else None

@@ -1,0 +1,192 @@
+"""Node-splitting and forced-reinsertion policies.
+
+The paper builds on the R*-tree [1] for all trees ("the new value is
+inserted into the RUM-tree using the standard R-tree insert algorithm [1]"),
+so the default split is the R* topological split: choose the split axis by
+minimum total margin, then the distribution by minimum overlap (ties broken
+by minimum combined area).  Guttman's quadratic split is provided as well,
+both for the ablation benchmarks and as a reference implementation.
+
+All functions are pure: they take a list of entries (anything with a
+``.rect`` attribute) and return two lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+from .geometry import Rect
+
+E = TypeVar("E")  # any entry type exposing .rect
+
+
+def _prefix_suffix_mbrs(
+    entries: Sequence[E],
+) -> Tuple[List[Rect], List[Rect]]:
+    """Running MBRs from the left and from the right.
+
+    ``prefix[k]`` covers ``entries[:k+1]`` and ``suffix[k]`` covers
+    ``entries[k:]``; with them the margin/overlap/area of every candidate
+    distribution of a sorted sequence is available in O(1), making the
+    whole R* split linear after sorting.
+    """
+    prefix: List[Rect] = []
+    running = None
+    for e in entries:
+        running = e.rect if running is None else running.union(e.rect)
+        prefix.append(running)
+    suffix: List[Rect] = [None] * len(entries)  # type: ignore[list-item]
+    running = None
+    for k in range(len(entries) - 1, -1, -1):
+        running = (
+            entries[k].rect if running is None
+            else running.union(entries[k].rect)
+        )
+        suffix[k] = running
+    return prefix, suffix
+
+
+def _margin_sum(sorted_entries: Sequence[E], min_entries: int) -> float:
+    """Sum of the margins of both groups over all distributions (the R*
+    goodness value used to pick the split axis)."""
+    prefix, suffix = _prefix_suffix_mbrs(sorted_entries)
+    total = 0.0
+    for k in range(min_entries, len(sorted_entries) - min_entries + 1):
+        total += prefix[k - 1].margin() + suffix[k].margin()
+    return total
+
+
+def rstar_split(
+    entries: Sequence[E], min_entries: int
+) -> Tuple[List[E], List[E]]:
+    """The R*-tree split of Beckmann et al. [1].
+
+    1. For each axis, sort the entries by lower then by upper coordinate
+       and accumulate the margin sums of every legal distribution; choose
+       the axis with the minimum total margin.
+    2. Along the chosen axis, pick the distribution with minimum overlap
+       between the two group MBRs, breaking ties by minimum combined area.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with minimum {min_entries}"
+        )
+
+    candidates: List[Sequence[E]] = []
+    for key_low, key_high in (
+        (lambda e: e.rect.xmin, lambda e: e.rect.xmax),
+        (lambda e: e.rect.ymin, lambda e: e.rect.ymax),
+    ):
+        by_low = sorted(entries, key=key_low)
+        by_high = sorted(entries, key=key_high)
+        candidates.append(
+            min((by_low, by_high), key=lambda s: _margin_sum(s, min_entries))
+        )
+
+    axis_entries = min(candidates, key=lambda s: _margin_sum(s, min_entries))
+
+    prefix, suffix = _prefix_suffix_mbrs(axis_entries)
+    best_k = min_entries
+    best_key = None
+    for k in range(min_entries, len(axis_entries) - min_entries + 1):
+        mbr_left = prefix[k - 1]
+        mbr_right = suffix[k]
+        key = (
+            mbr_left.overlap_area(mbr_right),
+            mbr_left.area() + mbr_right.area(),
+        )
+        if best_key is None or key < best_key:
+            best_key = key
+            best_k = k
+    return list(axis_entries[:best_k]), list(axis_entries[best_k:])
+
+
+def quadratic_split(
+    entries: Sequence[E], min_entries: int
+) -> Tuple[List[E], List[E]]:
+    """Guttman's quadratic split (the original R-tree [6]).
+
+    Seeds are the pair wasting the most area if grouped together; remaining
+    entries are assigned greedily by largest preference difference.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with minimum {min_entries}"
+        )
+    pool = list(entries)
+
+    # Pick seeds: the pair with maximal dead space.
+    worst = -1.0
+    seed_a = seed_b = 0
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            waste = (
+                pool[i].rect.union(pool[j].rect).area()
+                - pool[i].rect.area()
+                - pool[j].rect.area()
+            )
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+    left = [pool[seed_a]]
+    right = [pool[seed_b]]
+    rest = [e for k, e in enumerate(pool) if k not in (seed_a, seed_b)]
+    mbr_left = left[0].rect
+    mbr_right = right[0].rect
+
+    while rest:
+        # Honour the minimum-fill guarantee first.
+        if len(left) + len(rest) == min_entries:
+            left.extend(rest)
+            break
+        if len(right) + len(rest) == min_entries:
+            right.extend(rest)
+            break
+        # Choose the entry with the strongest group preference.
+        best_idx = 0
+        best_diff = -1.0
+        for k, e in enumerate(rest):
+            d_left = mbr_left.enlargement(e.rect)
+            d_right = mbr_right.enlargement(e.rect)
+            diff = abs(d_left - d_right)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = k
+        e = rest.pop(best_idx)
+        d_left = mbr_left.enlargement(e.rect)
+        d_right = mbr_right.enlargement(e.rect)
+        if d_left < d_right or (
+            d_left == d_right and len(left) <= len(right)
+        ):
+            left.append(e)
+            mbr_left = mbr_left.union(e.rect)
+        else:
+            right.append(e)
+            mbr_right = mbr_right.union(e.rect)
+    return left, right
+
+
+#: Fraction of entries evicted by an R* forced reinsert (the paper's source,
+#: Beckmann et al., found 30% to work best).
+REINSERT_FRACTION = 0.3
+
+
+def choose_reinsert_entries(
+    entries: Sequence[E], fraction: float = REINSERT_FRACTION
+) -> Tuple[List[E], List[E]]:
+    """Partition an overflowing node for R* forced reinsertion.
+
+    Returns ``(keep, reinsert)`` where ``reinsert`` holds the ``fraction``
+    of entries whose centres lie farthest from the node MBR's centre,
+    ordered farthest-first (the R* "far reinsert" variant).
+    """
+    if not entries:
+        raise ValueError("cannot reinsert from an empty node")
+    node_mbr = Rect.union_all(e.rect for e in entries)
+    ranked = sorted(
+        entries,
+        key=lambda e: e.rect.center_distance(node_mbr),
+        reverse=True,
+    )
+    count = max(1, int(round(len(entries) * fraction)))
+    return ranked[count:], ranked[:count]

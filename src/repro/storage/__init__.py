@@ -1,0 +1,43 @@
+"""Paged-disk storage substrate with the paper's I/O-accounting model.
+
+The stack, bottom-up:
+
+* :class:`~repro.storage.disk.DiskManager` — fixed-size pages of raw bytes;
+* :class:`~repro.storage.codec.NodeCodec` — binary page layout (fanout is
+  derived from node size, as in Table 1 of the paper);
+* :class:`~repro.storage.buffer.BufferPool` — internal nodes pinned in
+  memory, leaf accesses counted per logical operation (Section 4);
+* :class:`~repro.storage.wal.WriteAheadLog` — log for recovery options
+  II/III (Section 3.4);
+* :class:`~repro.storage.iostats.IOStats` — the counters every experiment
+  reports.
+"""
+
+from .buffer import BufferPool
+from .codec import NodeCodec, PageOverflowError
+from .disk import DiskManager, PageNotAllocatedError
+from .filedisk import FileDiskManager
+from .iostats import IOSnapshot, IOStats
+from .wal import (
+    CHECKPOINT_HEADER_BYTES,
+    MEMO_CHANGE_BYTES,
+    UM_ENTRY_BYTES,
+    LogRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "BufferPool",
+    "NodeCodec",
+    "PageOverflowError",
+    "DiskManager",
+    "FileDiskManager",
+    "PageNotAllocatedError",
+    "IOSnapshot",
+    "IOStats",
+    "WriteAheadLog",
+    "LogRecord",
+    "UM_ENTRY_BYTES",
+    "MEMO_CHANGE_BYTES",
+    "CHECKPOINT_HEADER_BYTES",
+]

@@ -1,0 +1,104 @@
+"""Simulated paged disk.
+
+The disk stores fixed-size pages of raw bytes addressed by integer page ids.
+It deliberately knows nothing about R-trees: access-type accounting (leaf
+vs. internal) happens in the buffer pool, which knows what it is reading.
+
+Besides the page store itself the disk keeps a free list so page ids are
+recycled, an allocation high-water mark, and an iteration API that the
+recovery code (Section 3.4, Option I/II) uses to scan "every leaf entry in
+the tree" after a simulated crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class PageNotAllocatedError(KeyError):
+    """Raised when reading or writing a page id that was never allocated."""
+
+
+class DiskManager:
+    """A dictionary-backed page store with fixed page size.
+
+    Pages survive a *simulated crash* (see :meth:`crash`): crashing clears
+    nothing on the disk — it is the caller's in-memory state (buffer pool,
+    update memo, stamp counter) that is discarded, exactly the failure model
+    of Section 3.4.
+    """
+
+    def __init__(self, page_size: int):
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._pages: Dict[int, bytes] = {}
+        self._free: List[int] = []
+        self._next_id = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (recycling freed ids first)."""
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = b"\x00" * self.page_size
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page; its id becomes available for reuse."""
+        if page_id not in self._pages:
+            raise PageNotAllocatedError(page_id)
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    # -- I/O -----------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        """Fetch the current contents of a page."""
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+        self.reads += 1
+        return data
+
+    def peek(self, page_id: int) -> bytes:
+        """Uncounted read for introspection (metrics, invariant checks)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite a page; ``data`` must be exactly one page long."""
+        if page_id not in self._pages:
+            raise PageNotAllocatedError(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page {page_id}: write of {len(data)} bytes to a "
+                f"{self.page_size}-byte page"
+            )
+        self._pages[page_id] = bytes(data)
+        self.writes += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def is_allocated(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def page_ids(self) -> Iterator[int]:
+        """All currently allocated page ids (recovery scans use this)."""
+        return iter(sorted(self._pages))
+
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def total_bytes(self) -> int:
+        """Bytes occupied on the simulated disk."""
+        return len(self._pages) * self.page_size

@@ -1,0 +1,142 @@
+"""File-backed page store: the same interface as :class:`DiskManager`,
+persisted to a real file.
+
+The in-memory :class:`~repro.storage.disk.DiskManager` is what the
+experiments use (its counters are the metric); this variant exists so a
+library user can actually keep an index across processes.  Pages live in a
+flat ``pages.bin`` file at ``page_id * page_size`` offsets; the allocation
+state (next id, free list) is saved to ``disk.json`` by :meth:`sync` and
+restored by :meth:`open`.
+
+The I/O counters have the same meaning as the in-memory manager's, so a
+tree running over a file behaves identically in all measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterator, List, Set, Union
+
+from .disk import PageNotAllocatedError
+
+PAGES_FILE = "pages.bin"
+META_FILE = "disk.json"
+
+
+class FileDiskManager:
+    """Paged storage backed by a directory on the real filesystem."""
+
+    def __init__(self, page_size: int, directory: Union[str, os.PathLike]):
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._path = self.directory / PAGES_FILE
+        mode = "r+b" if self._path.exists() else "w+b"
+        self._file = open(self._path, mode)
+        self._allocated: Set[int] = set()
+        self._free: List[int] = []
+        self._next_id = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- persistence of the allocation state --------------------------------
+
+    @classmethod
+    def open(cls, directory: Union[str, os.PathLike]) -> "FileDiskManager":
+        """Re-open a directory previously written by :meth:`sync`."""
+        directory = pathlib.Path(directory)
+        meta = json.loads((directory / META_FILE).read_text())
+        disk = cls(meta["page_size"], directory)
+        disk._allocated = set(meta["allocated"])
+        disk._free = list(meta["free"])
+        disk._next_id = meta["next_id"]
+        return disk
+
+    def sync(self) -> None:
+        """Flush the page file and persist the allocation state."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        (self.directory / META_FILE).write_text(
+            json.dumps(
+                {
+                    "page_size": self.page_size,
+                    "allocated": sorted(self._allocated),
+                    "free": self._free,
+                    "next_id": self._next_id,
+                }
+            )
+        )
+
+    def close(self) -> None:
+        self.sync()
+        self._file.close()
+
+    # -- DiskManager interface -----------------------------------------------
+
+    def allocate(self) -> int:
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._allocated.add(page_id)
+        self._write_raw(page_id, b"\x00" * self.page_size)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        if page_id not in self._allocated:
+            raise PageNotAllocatedError(page_id)
+        self._allocated.discard(page_id)
+        self._free.append(page_id)
+
+    def _read_raw(self, page_id: int) -> bytes:
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:  # sparse tail
+            data = data + b"\x00" * (self.page_size - len(data))
+        return data
+
+    def _write_raw(self, page_id: int, data: bytes) -> None:
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    def read_page(self, page_id: int) -> bytes:
+        if page_id not in self._allocated:
+            raise PageNotAllocatedError(page_id)
+        self.reads += 1
+        return self._read_raw(page_id)
+
+    def peek(self, page_id: int) -> bytes:
+        """Uncounted read for introspection (metrics, invariant checks)."""
+        if page_id not in self._allocated:
+            raise PageNotAllocatedError(page_id)
+        return self._read_raw(page_id)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if page_id not in self._allocated:
+            raise PageNotAllocatedError(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page {page_id}: write of {len(data)} bytes to a "
+                f"{self.page_size}-byte page"
+            )
+        self.writes += 1
+        self._write_raw(page_id, bytes(data))
+
+    # -- introspection ----------------------------------------------------------
+
+    def is_allocated(self, page_id: int) -> bool:
+        return page_id in self._allocated
+
+    def page_ids(self) -> Iterator[int]:
+        return iter(sorted(self._allocated))
+
+    def num_pages(self) -> int:
+        return len(self._allocated)
+
+    def total_bytes(self) -> int:
+        return len(self._allocated) * self.page_size

@@ -1,0 +1,34 @@
+"""Workload substrate: road network, moving objects, queries, traces."""
+
+from .network import RoadNetwork
+from .objects import (
+    NetworkMovingObjects,
+    UniformMovingObjects,
+    default_network_workload,
+)
+from .queries import DEFAULT_QUERY_SIDE, RangeQueryGenerator
+from .trace import (
+    Operation,
+    QueryOp,
+    UpdateOp,
+    mixed_trace,
+    query_trace,
+    ratio_to_fraction,
+    update_trace,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "NetworkMovingObjects",
+    "UniformMovingObjects",
+    "default_network_workload",
+    "RangeQueryGenerator",
+    "DEFAULT_QUERY_SIDE",
+    "Operation",
+    "UpdateOp",
+    "QueryOp",
+    "mixed_trace",
+    "update_trace",
+    "query_trace",
+    "ratio_to_fraction",
+]

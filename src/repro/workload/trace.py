@@ -1,0 +1,92 @@
+"""Operation traces: reproducible interleavings of updates and queries.
+
+The overall-cost experiments (Figures 12c, 13c, 14c) interleave updates and
+queries at ratios from 1:100 to 10000:1.  A trace is a concrete sequence of
+:class:`Operation` records that a harness replays against any tree, so all
+trees see the *identical* workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.rtree.geometry import Rect
+
+from .objects import NetworkMovingObjects, UniformMovingObjects
+from .queries import RangeQueryGenerator
+
+MovingObjects = Union[NetworkMovingObjects, UniformMovingObjects]
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Move ``oid`` from ``old_rect`` to ``new_rect``."""
+
+    oid: int
+    old_rect: Rect
+    new_rect: Rect
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """Evaluate a range query over ``window``."""
+
+    window: Rect
+
+
+Operation = Union[UpdateOp, QueryOp]
+
+
+def mixed_trace(
+    objects: MovingObjects,
+    queries: RangeQueryGenerator,
+    total_ops: int,
+    update_fraction: float,
+    seed: int = 3,
+) -> List[Operation]:
+    """A randomly interleaved trace with the given update share.
+
+    ``update_fraction`` of the ``total_ops`` operations are updates (drawn
+    from the moving-object generator in its round-robin order), the rest
+    are range queries.
+    """
+    if not 0.0 <= update_fraction <= 1.0:
+        raise ValueError("update_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    n_updates = round(total_ops * update_fraction)
+    kinds = ["u"] * n_updates + ["q"] * (total_ops - n_updates)
+    rng.shuffle(kinds)
+    trace: List[Operation] = []
+    for kind in kinds:
+        if kind == "u":
+            oid, old_rect, new_rect = objects.next_update()
+            trace.append(UpdateOp(oid, old_rect, new_rect))
+        else:
+            trace.append(QueryOp(queries.next_query()))
+    return trace
+
+
+def ratio_to_fraction(updates: int, queries: int) -> float:
+    """Convert the paper's "updates : queries" ratio notation (e.g.
+    10000:1) into an update fraction."""
+    if updates < 0 or queries < 0 or updates + queries == 0:
+        raise ValueError("invalid ratio")
+    return updates / (updates + queries)
+
+
+def update_trace(
+    objects: MovingObjects, count: int
+) -> Iterator[UpdateOp]:
+    """A pure update stream (the update-cost experiments)."""
+    for oid, old_rect, new_rect in objects.updates(count):
+        yield UpdateOp(oid, old_rect, new_rect)
+
+
+def query_trace(
+    queries: RangeQueryGenerator, count: int
+) -> Iterator[QueryOp]:
+    """A pure query stream (the search-cost experiments)."""
+    for window in queries.queries(count):
+        yield QueryOp(window)

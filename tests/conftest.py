@@ -1,0 +1,126 @@
+"""Shared fixtures and helpers for the test suite.
+
+Tests run against deliberately tiny trees (node sizes of a few hundred
+bytes, fanouts of 4–20) so that splits, underflows, reinsertion, cleaning
+cycles, and root collapses all occur within a few hundred operations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.rum import RUMTree
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.rtree.geometry import Rect
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Tiny node size used by most structural tests (classic fanout 11,
+#: RUM fanout 8).
+SMALL_NODE = 512
+
+
+@pytest.fixture
+def rstar_tree():
+    return build_rstar_tree(node_size=SMALL_NODE)
+
+
+@pytest.fixture
+def fur_tree():
+    return build_fur_tree(node_size=SMALL_NODE)
+
+
+@pytest.fixture
+def rum_tree() -> RUMTree:
+    return build_rum_tree(node_size=SMALL_NODE)
+
+
+@pytest.fixture
+def rum_token_tree() -> RUMTree:
+    return build_rum_tree(
+        node_size=SMALL_NODE, clean_upon_touch=False, inspection_ratio=0.5
+    )
+
+
+def random_point_rect(rng: random.Random) -> Rect:
+    return Rect.from_point(rng.random(), rng.random())
+
+
+def populate(tree, count: int, seed: int = 1) -> Dict[int, Rect]:
+    """Insert ``count`` random point objects; returns oid -> rect."""
+    rng = random.Random(seed)
+    positions: Dict[int, Rect] = {}
+    for oid in range(count):
+        rect = random_point_rect(rng)
+        positions[oid] = rect
+        tree.insert_object(oid, rect)
+    return positions
+
+
+def random_window(rng: random.Random, side: float = 0.2) -> Rect:
+    x = rng.uniform(0.0, 1.0 - side)
+    y = rng.uniform(0.0, 1.0 - side)
+    return Rect(x, y, x + side, y + side)
+
+
+def brute_force_hits(
+    positions: Dict[int, Rect], window: Rect, alive: Set[int] = None
+) -> List[int]:
+    """Oracle: oids whose rect intersects the window."""
+    return sorted(
+        oid
+        for oid, rect in positions.items()
+        if (alive is None or oid in alive) and rect.intersects(window)
+    )
+
+
+def assert_search_matches_oracle(
+    tree,
+    positions: Dict[int, Rect],
+    alive: Set[int] = None,
+    n_queries: int = 40,
+    seed: int = 9,
+    side: float = 0.25,
+) -> None:
+    """Compare tree.search against the brute-force oracle on many windows."""
+    rng = random.Random(seed)
+    for _ in range(n_queries):
+        window = random_window(rng, side=side)
+        got = sorted(oid for oid, _rect in tree.search(window))
+        want = brute_force_hits(positions, window, alive)
+        assert got == want, f"window {window}: got {got}, want {want}"
+
+
+def random_walk(
+    tree,
+    positions: Dict[int, Rect],
+    steps: int,
+    seed: int = 5,
+    distance: float = 0.1,
+) -> None:
+    """Apply ``steps`` random single-object updates through the tree."""
+    rng = random.Random(seed)
+    oids = list(positions)
+    for _ in range(steps):
+        oid = rng.choice(oids)
+        old = positions[oid]
+        x, y = old.center()
+        nx = min(max(x + rng.uniform(-distance, distance), 0.0), 1.0)
+        ny = min(max(y + rng.uniform(-distance, distance), 0.0), 1.0)
+        new = Rect.from_point(nx, ny)
+        tree.update_object(oid, old, new)
+        positions[oid] = new
+
+
+def leaf_entry_count(tree) -> int:
+    return sum(len(node.entries) for node in tree.iter_leaf_nodes())

@@ -1,0 +1,142 @@
+"""Tests for the Section-4 cost model and the memo-size bounds."""
+
+import random
+
+import pytest
+
+from conftest import SMALL_NODE, populate, random_walk
+from repro.analysis.bounds import (
+    avg_obsolete_entries,
+    garbage_ratio_average,
+    garbage_ratio_upper_bound,
+    max_obsolete_entries,
+    um_size_average,
+    um_size_upper_bound,
+)
+from repro.analysis.cost_model import (
+    BOTTOM_UP_IN_PLACE_IO,
+    BOTTOM_UP_SIBLING_IO,
+    BOTTOM_UP_TOP_DOWN_IO,
+    expected_bottomup_update_io,
+    expected_memo_update_io,
+    expected_topdown_search_io,
+    expected_topdown_update_io,
+    logging_io_per_update_option_ii,
+    logging_io_per_update_option_iii,
+)
+from repro.factory import build_rstar_tree, build_rum_tree
+from repro.rtree.geometry import Rect
+from repro.storage.wal import UM_ENTRY_BYTES
+
+
+class TestTopDownModel:
+    def test_zero_for_empty_leaf_list(self):
+        assert expected_topdown_search_io([]) == 0.0
+        assert expected_topdown_update_io([]) == 3.0
+
+    def test_point_entry_search(self):
+        # Two leaves of 0.2x0.1: qualifying probability sum = 2*0.02,
+        # halved for the expected stop-early position.
+        sides = [(0.2, 0.1), (0.2, 0.1)]
+        assert expected_topdown_search_io(sides) == pytest.approx(0.02)
+
+    def test_wide_entries_prune_leaves(self):
+        sides = [(0.2, 0.2)] * 10
+        point_cost = expected_topdown_search_io(sides, 0.0, 0.0)
+        wide_cost = expected_topdown_search_io(sides, 0.15, 0.15)
+        assert wide_cost < point_cost
+        none_cost = expected_topdown_search_io(sides, 0.3, 0.3)
+        assert none_cost == 0.0
+
+    def test_estimator_tracks_measurement(self):
+        """End-to-end: predictions from real leaf MBRs track measured
+        deletion-search costs within a small factor."""
+        tree = build_rstar_tree(node_size=SMALL_NODE)
+        positions = populate(tree, 300, seed=130)
+        predicted = expected_topdown_update_io(tree.leaf_mbr_sides())
+        stats = tree.stats
+        rng = random.Random(131)
+        before = stats.snapshot()
+        count = 60
+        for oid in list(positions)[:count]:
+            new = Rect.from_point(rng.random(), rng.random())
+            tree.update_object(oid, positions[oid], new)
+            positions[oid] = new
+        measured = (stats.snapshot() - before).leaf_total / count
+        assert measured == pytest.approx(predicted, rel=0.6)
+
+
+class TestBottomUpModel:
+    def test_pure_cases(self):
+        assert expected_bottomup_update_io(1.0, 0.0) == BOTTOM_UP_IN_PLACE_IO
+        assert expected_bottomup_update_io(0.0, 1.0) == BOTTOM_UP_SIBLING_IO
+        assert expected_bottomup_update_io(0.0, 0.0) == BOTTOM_UP_TOP_DOWN_IO
+
+    def test_mix(self):
+        assert expected_bottomup_update_io(0.5, 0.25) == pytest.approx(
+            0.5 * 3 + 0.25 * 6 + 0.25 * 7
+        )
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            expected_bottomup_update_io(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            expected_bottomup_update_io(0.8, 0.4)
+
+
+class TestMemoModel:
+    def test_formula(self):
+        assert expected_memo_update_io(0.0) == 2.0
+        assert expected_memo_update_io(0.2) == pytest.approx(2.4)
+        assert expected_memo_update_io(1.0) == 4.0
+        with pytest.raises(ValueError):
+            expected_memo_update_io(-0.2)
+
+    def test_logging_surcharges(self):
+        base = logging_io_per_update_option_ii(
+            n_leaves=100,
+            inspection_ratio=0.2,
+            page_size=8192,
+            checkpoint_interval=10000,
+        )
+        assert base == pytest.approx(
+            100 * UM_ENTRY_BYTES / 0.2 / (8192 * 10000)
+        )
+        assert logging_io_per_update_option_iii(
+            100, 0.2, 8192, 10000
+        ) == pytest.approx(base + 1.0)
+        with pytest.raises(ValueError):
+            logging_io_per_update_option_ii(100, 0.0, 8192, 100)
+
+
+class TestBounds:
+    def test_formulae(self):
+        assert max_obsolete_entries(100, 0.2) == 500
+        assert avg_obsolete_entries(100, 0.2) == 250
+        assert garbage_ratio_upper_bound(100, 0.2, 10000) == pytest.approx(
+            0.05
+        )
+        assert garbage_ratio_average(100, 0.2, 10000) == pytest.approx(0.025)
+        assert um_size_upper_bound(100, 0.2) == 500 * UM_ENTRY_BYTES
+        assert um_size_average(100, 0.2) == 250 * UM_ENTRY_BYTES
+
+    def test_zero_ratio_unbounded(self):
+        assert max_obsolete_entries(100, 0.0) == float("inf")
+
+    def test_invalid_objects(self):
+        with pytest.raises(ValueError):
+            garbage_ratio_upper_bound(100, 0.2, 0)
+
+    def test_bounds_hold_in_steady_state(self):
+        """Drive a token-only RUM-tree to steady state and verify the
+        Section-4.1 bounds on garbage and memo size."""
+        tree = build_rum_tree(
+            node_size=SMALL_NODE,
+            clean_upon_touch=False,
+            inspection_ratio=0.5,
+        )
+        positions = populate(tree, 200, seed=132)
+        random_walk(tree, positions, steps=1500, seed=133, distance=0.1)
+        n_leaves = tree.num_leaf_nodes()
+        assert tree.garbage_count() <= max_obsolete_entries(n_leaves, 0.5)
+        assert tree.memo_size_bytes() <= um_size_upper_bound(n_leaves, 0.5)

@@ -1,0 +1,108 @@
+"""Tests for STR bulk loading across all tree variants."""
+
+import random
+
+import pytest
+
+from conftest import (
+    SMALL_NODE,
+    assert_search_matches_oracle,
+    random_walk,
+)
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.rtree.bulk import bulk_load_objects, str_bulk_load
+from repro.rtree.geometry import Rect
+from repro.rtree.node import LeafEntry
+
+
+def _pairs(count, seed=170):
+    rng = random.Random(seed)
+    return {
+        oid: Rect.from_point(rng.random(), rng.random())
+        for oid in range(count)
+    }
+
+
+@pytest.mark.parametrize(
+    "builder", [build_rstar_tree, build_fur_tree, build_rum_tree]
+)
+class TestBulkLoadAllTrees:
+    def test_loaded_tree_answers_queries(self, builder):
+        tree = builder(node_size=SMALL_NODE)
+        positions = _pairs(300)
+        assert bulk_load_objects(tree, positions.items()) == 300
+        assert_search_matches_oracle(tree, positions)
+        tree.check_invariants()
+
+    def test_loaded_tree_accepts_updates(self, builder):
+        tree = builder(node_size=SMALL_NODE)
+        positions = _pairs(250, seed=171)
+        bulk_load_objects(tree, positions.items())
+        random_walk(tree, positions, steps=400, seed=172, distance=0.15)
+        assert_search_matches_oracle(tree, positions)
+        tree.check_invariants()
+
+    def test_high_occupancy(self, builder):
+        tree = builder(node_size=SMALL_NODE)
+        positions = _pairs(400, seed=173)
+        bulk_load_objects(tree, positions.items())
+        occupancy = tree.num_leaf_entries() / (
+            tree.num_leaf_nodes() * tree.leaf_cap
+        )
+        assert occupancy > 0.85  # packed, unlike incremental loading
+
+    def test_cheaper_than_incremental(self, builder):
+        positions = _pairs(300, seed=174)
+        bulk = builder(node_size=SMALL_NODE)
+        bulk_load_objects(bulk, positions.items())
+        incremental = builder(node_size=SMALL_NODE)
+        for oid, rect in positions.items():
+            incremental.insert_object(oid, rect)
+        assert (
+            bulk.stats.snapshot().leaf_total
+            < incremental.stats.snapshot().leaf_total
+        )
+
+
+class TestBulkLoadEdgeCases:
+    def test_empty_load(self, rstar_tree):
+        str_bulk_load(rstar_tree, [])
+        assert rstar_tree.num_leaf_entries() == 0
+
+    def test_single_leaf_load(self, rstar_tree):
+        entries = [
+            LeafEntry(Rect.from_point(0.1 * i, 0.1 * i), i) for i in range(5)
+        ]
+        str_bulk_load(rstar_tree, entries)
+        assert rstar_tree.height == 1
+        assert rstar_tree.num_leaf_entries() == 5
+        rstar_tree.check_invariants()
+
+    def test_non_empty_tree_rejected(self, rstar_tree):
+        rstar_tree.insert_object(1, Rect.from_point(0.5, 0.5))
+        with pytest.raises(ValueError):
+            str_bulk_load(rstar_tree, [LeafEntry(Rect.from_point(0, 0), 2)])
+
+    def test_rum_ring_valid_after_bulk_load(self):
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        positions = _pairs(300, seed=175)
+        bulk_load_objects(tree, positions.items())
+        tree.check_invariants()  # includes the ring walk
+        # The cleaner can run over the packed ring immediately.
+        tree.cleaner.run_full_cycle()
+        assert_search_matches_oracle(tree, positions)
+
+    def test_fur_index_points_at_real_leaves(self):
+        tree = build_fur_tree(node_size=SMALL_NODE)
+        positions = _pairs(200, seed=176)
+        bulk_load_objects(tree, positions.items())
+        for leaf in tree.iter_leaf_nodes():
+            for entry in leaf.entries:
+                assert tree.index.peek(entry.oid) == leaf.page_id
+
+    def test_rum_entries_are_stamped(self):
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        bulk_load_objects(tree, _pairs(100, seed=177).items())
+        stamps = [e.stamp for e in tree.iter_leaf_entries()]
+        assert len(set(stamps)) == 100
+        assert min(stamps) >= 1

@@ -1,0 +1,273 @@
+"""Tests for the read/write locks, granular lock manager, and the
+concurrent-throughput harness."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency.locks import (
+    READ,
+    WRITE,
+    GranularLockManager,
+    ReadWriteLock,
+)
+from repro.concurrency.throughput import ConcurrentHarness, _cells_for
+from repro.factory import build_rstar_tree, build_rum_tree
+from repro.rtree.geometry import Rect
+from repro.workload.objects import UniformMovingObjects
+from repro.workload.queries import RangeQueryGenerator
+from repro.workload.trace import mixed_trace
+
+
+class TestReadWriteLock:
+    def test_multiple_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()  # second reader must not block
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        acquired = []
+
+        def reader():
+            lock.acquire_read()
+            acquired.append(True)
+            lock.release_read()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired  # blocked while the writer holds the lock
+        lock.release_write()
+        thread.join(timeout=2)
+        assert acquired
+
+    def test_writer_excludes_writer(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        acquired = []
+
+        def writer():
+            lock.acquire_write()
+            acquired.append(True)
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired
+        lock.release_write()
+        thread.join(timeout=2)
+        assert acquired
+
+    def test_release_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+
+
+class TestGranularLockManager:
+    def test_locks_created_on_demand(self):
+        manager = GranularLockManager()
+        assert manager.num_granules() == 0
+        manager.lock_for("a")
+        assert manager.num_granules() == 1
+        assert manager.lock_for("a") is manager.lock_for("a")
+
+    def test_locked_acquires_and_releases(self):
+        manager = GranularLockManager()
+        with manager.locked([("a", WRITE), ("b", READ)]):
+            pass
+        # Everything released: an exclusive re-acquire must not block.
+        with manager.locked([("a", WRITE), ("b", WRITE)]):
+            pass
+
+    def test_duplicate_granules_coalesced_write_wins(self):
+        manager = GranularLockManager()
+        with manager.locked([("a", READ), ("a", WRITE)]):
+            # If the read lock were acquired separately the write acquire
+            # on the same granule would deadlock — reaching here proves
+            # the coalescing.
+            pass
+
+    def test_unknown_mode_rejected(self):
+        manager = GranularLockManager()
+        with pytest.raises(ValueError):
+            with manager.locked([("a", "exclusive")]):
+                pass
+
+    def test_parallel_disjoint_granules(self):
+        manager = GranularLockManager()
+        order = []
+
+        def worker(name):
+            with manager.locked([(name, WRITE)]):
+                order.append(name)
+                time.sleep(0.02)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in "abcd"
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Disjoint granules run concurrently: far less than serial time.
+        assert time.perf_counter() - started < 4 * 0.02 + 0.2
+        assert sorted(order) == list("abcd")
+
+
+class TestCellCover:
+    def test_single_cell_for_point(self):
+        cells = _cells_for(Rect.from_point(0.55, 0.55), grid=4)
+        assert cells == [("cell", 2, 2)]
+
+    def test_window_spans_cells(self):
+        cells = _cells_for(Rect(0.0, 0.0, 0.6, 0.3), grid=4)
+        assert ("cell", 0, 0) in cells
+        assert ("cell", 2, 1) in cells
+        assert len(cells) == 6
+
+    def test_padding_widens_cover(self):
+        narrow = _cells_for(Rect.from_point(0.5, 0.5), grid=8)
+        padded = _cells_for(Rect.from_point(0.5, 0.5), grid=8, pad=0.2)
+        assert len(padded) > len(narrow)
+
+    def test_clamped_to_grid(self):
+        cells = _cells_for(Rect(0.9, 0.9, 1.0, 1.0), grid=4, pad=0.5)
+        for _tag, cx, cy in cells:
+            assert 0 <= cx < 4 and 0 <= cy < 4
+
+
+class TestConcurrentHarness:
+    def _workload(self, tree, n_objects=150, ops=60, update_fraction=0.5):
+        objects = UniformMovingObjects(
+            n_objects, moving_distance=0.05, seed=120
+        )
+        for oid, rect in objects.initial():
+            tree.insert_object(oid, rect)
+        return mixed_trace(
+            objects,
+            RangeQueryGenerator(side=0.1, seed=121),
+            ops,
+            update_fraction,
+            seed=122,
+        )
+
+    def test_rum_tree_runs_mixed_workload(self):
+        tree = build_rum_tree(node_size=512)
+        trace = self._workload(tree)
+        harness = ConcurrentHarness(tree, io_latency=0.0)
+        outcome = harness.run(trace, n_threads=8)
+        assert outcome.operations == len(trace)
+        assert outcome.update_fraction == pytest.approx(0.5, abs=0.05)
+        tree.check_invariants()
+
+    def test_rstar_tree_runs_mixed_workload(self):
+        tree = build_rstar_tree(node_size=512)
+        trace = self._workload(tree)
+        harness = ConcurrentHarness(tree, io_latency=0.0)
+        outcome = harness.run(trace, n_threads=8)
+        assert outcome.operations == len(trace)
+        tree.check_invariants()
+
+    def test_worker_errors_surface(self):
+        tree = build_rstar_tree(node_size=512)
+        objects = UniformMovingObjects(10, seed=123)
+        # Do NOT load the tree: updates must fail and propagate.
+        trace = mixed_trace(
+            objects, RangeQueryGenerator(seed=124), 10, 1.0, seed=125
+        )
+        harness = ConcurrentHarness(tree, io_latency=0.0)
+        with pytest.raises(Exception):
+            harness.run(trace, n_threads=4)
+
+    def test_invalid_thread_count(self):
+        tree = build_rum_tree(node_size=512)
+        harness = ConcurrentHarness(tree)
+        with pytest.raises(ValueError):
+            harness.run([], n_threads=0)
+
+    def test_results_identical_to_sequential(self):
+        """Concurrency must not change query answers: replay the same
+        trace sequentially and compare final search results."""
+        trace = None
+        results = {}
+        for mode in ("concurrent", "sequential"):
+            tree = build_rum_tree(node_size=512)
+            if trace is None:
+                trace = self._workload(tree, update_fraction=1.0)
+            else:
+                self._workload(tree, update_fraction=1.0)
+            if mode == "concurrent":
+                ConcurrentHarness(tree, io_latency=0.0).run(
+                    trace, n_threads=8
+                )
+            else:
+                for op in trace:
+                    tree.update_object(op.oid, op.old_rect, op.new_rect)
+            results[mode] = sorted(tree.search(Rect(0, 0, 1, 1)))
+        assert results["concurrent"] == results["sequential"]
+
+
+class TestLockFootprints:
+    """The Section-3.5 asymmetry at the unit level: a memo-based update
+    requests far fewer exclusive spatial granules than a top-down one."""
+
+    def _op(self):
+        from repro.workload.trace import UpdateOp
+
+        return UpdateOp(
+            oid=7,
+            old_rect=Rect.from_point(0.5, 0.5),
+            new_rect=Rect.from_point(0.52, 0.52),
+        )
+
+    def test_rum_update_locks_one_cell(self):
+        tree = build_rum_tree(node_size=512)
+        harness = ConcurrentHarness(tree)
+        cells = [
+            granule
+            for granule, _mode in harness._update_lock_requests(self._op())
+            if isinstance(granule, tuple) and granule[0] == "cell"
+        ]
+        assert len(cells) == 1
+
+    def test_rstar_update_locks_a_neighbourhood(self):
+        rum = ConcurrentHarness(build_rum_tree(node_size=512))
+        rstar = ConcurrentHarness(build_rstar_tree(node_size=512))
+        op = self._op()
+        rum_cells = [
+            g for g, _m in rum._update_lock_requests(op)
+            if isinstance(g, tuple) and g[0] == "cell"
+        ]
+        rstar_cells = [
+            g for g, _m in rstar._update_lock_requests(op)
+            if isinstance(g, tuple) and g[0] == "cell"
+        ]
+        assert len(rstar_cells) > len(rum_cells)
+
+    def test_rum_brief_latches_exist_and_are_brief(self):
+        tree = build_rum_tree(node_size=512)
+        harness = ConcurrentHarness(tree)
+        brief = harness._update_brief_requests(self._op())
+        names = {g if not isinstance(g, tuple) else g[0] for g, _m in brief}
+        assert "stamp_counter" in names
+        assert "memo_bucket" in names
+        # The R*-tree has no in-memory latches to take.
+        rstar = ConcurrentHarness(build_rstar_tree(node_size=512))
+        assert rstar._update_brief_requests(self._op()) == []

@@ -1,0 +1,173 @@
+"""Stateful property tests for the extension structures.
+
+The same oracle discipline as the R-tree machines: arbitrary interleavings
+of inserts, updates, deletes and forced cleaning against a shadow dict.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    precondition,
+    rule,
+)
+
+from repro.extensions.btree import MemoBTree
+from repro.extensions.grid import MemoGrid
+from repro.extensions.quadtree import MemoQuadtree
+
+coords = st.floats(
+    min_value=0.0, max_value=0.999, allow_nan=False, allow_infinity=False
+)
+
+
+class MemoBTreeMachine(RuleBasedStateMachine):
+    """Memo-based B+-tree vs shadow dict."""
+
+    @initialize()
+    def setup(self):
+        self.tree = MemoBTree(node_size=512, inspection_ratio=0.3)
+        self.shadow = {}
+        self.next_oid = 0
+
+    @rule(key=coords)
+    def insert(self, key):
+        self.tree.insert_object(self.next_oid, key)
+        self.shadow[self.next_oid] = key
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False), key=coords)
+    def update(self, pick, key):
+        oid = pick.choice(sorted(self.shadow))
+        self.tree.update_object(oid, None, key)
+        self.shadow[oid] = key
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.shadow))
+        del self.shadow[oid]
+        self.tree.delete_object(oid)
+
+    @rule()
+    def clean(self):
+        self.tree.run_full_cycle()
+
+    @rule(low=coords, width=st.floats(min_value=0.01, max_value=0.5))
+    def query_matches_oracle(self, low, width):
+        high = min(0.999, low + width)
+        got = sorted(self.tree.range_search(low, high))
+        want = sorted(
+            (oid, key)
+            for oid, key in self.shadow.items()
+            if low <= key <= high
+        )
+        assert got == want
+
+
+class MemoGridMachine(RuleBasedStateMachine):
+    """Memo-based grid file vs shadow dict."""
+
+    @initialize()
+    def setup(self):
+        self.grid = MemoGrid(side=6, page_size=512, inspection_ratio=0.3)
+        self.shadow = {}
+        self.next_oid = 0
+
+    @rule(x=coords, y=coords)
+    def insert(self, x, y):
+        self.grid.insert_object(self.next_oid, x, y)
+        self.shadow[self.next_oid] = (x, y)
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False), x=coords, y=coords)
+    def update(self, pick, x, y):
+        oid = pick.choice(sorted(self.shadow))
+        self.grid.update_object(oid, None, (x, y))
+        self.shadow[oid] = (x, y)
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.shadow))
+        del self.shadow[oid]
+        self.grid.delete_object(oid)
+
+    @rule()
+    def sweep(self):
+        self.grid.run_full_sweep()
+
+    @rule(x=coords, y=coords, side=st.floats(min_value=0.05, max_value=0.5))
+    def query_matches_oracle(self, x, y, side):
+        x1, y1 = min(0.999, x + side), min(0.999, y + side)
+        got = sorted(
+            oid for oid, _x, _y in self.grid.range_search(x, y, x1, y1)
+        )
+        want = sorted(
+            oid
+            for oid, (px, py) in self.shadow.items()
+            if x <= px <= x1 and y <= py <= y1
+        )
+        assert got == want
+
+
+class MemoQuadtreeMachine(RuleBasedStateMachine):
+    """Memo-based quadtree vs shadow dict."""
+
+    @initialize()
+    def setup(self):
+        self.tree = MemoQuadtree(page_size=512, inspection_ratio=0.3)
+        self.shadow = {}
+        self.next_oid = 0
+
+    @rule(x=coords, y=coords)
+    def insert(self, x, y):
+        self.tree.insert_object(self.next_oid, x, y)
+        self.shadow[self.next_oid] = (x, y)
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False), x=coords, y=coords)
+    def update(self, pick, x, y):
+        oid = pick.choice(sorted(self.shadow))
+        self.tree.update_object(oid, None, (x, y))
+        self.shadow[oid] = (x, y)
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.shadow))
+        del self.shadow[oid]
+        self.tree.delete_object(oid)
+
+    @rule()
+    def sweep(self):
+        self.tree.run_full_sweep()
+
+    @rule(x=coords, y=coords, side=st.floats(min_value=0.05, max_value=0.5))
+    def query_matches_oracle(self, x, y, side):
+        x1, y1 = min(0.999, x + side), min(0.999, y + side)
+        got = sorted(
+            oid for oid, _x, _y in self.tree.range_search(x, y, x1, y1)
+        )
+        want = sorted(
+            oid
+            for oid, (px, py) in self.shadow.items()
+            if x <= px <= x1 and y <= py <= y1
+        )
+        assert got == want
+
+
+_machine_settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+
+TestMemoBTreeMachine = MemoBTreeMachine.TestCase
+TestMemoBTreeMachine.settings = _machine_settings
+TestMemoGridMachine = MemoGridMachine.TestCase
+TestMemoGridMachine.settings = _machine_settings
+TestMemoQuadtreeMachine = MemoQuadtreeMachine.TestCase
+TestMemoQuadtreeMachine.settings = _machine_settings

@@ -1,0 +1,202 @@
+"""Tests for the Update Memo, the stamp counter, and CheckStatus."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.memo import LATEST, OBSOLETE, UpdateMemo
+from repro.core.stamp import StampCounter
+from repro.storage.wal import UM_ENTRY_BYTES
+
+
+class TestStampCounter:
+    def test_monotonic_unique(self):
+        counter = StampCounter()
+        stamps = [counter.next() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_current_is_next_unconsumed(self):
+        counter = StampCounter(start=5)
+        assert counter.current == 5
+        assert counter.next() == 5
+        assert counter.current == 6
+
+    def test_restore(self):
+        counter = StampCounter()
+        counter.next()
+        counter.restore(1000)
+        assert counter.next() == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StampCounter(start=-1)
+        with pytest.raises(ValueError):
+            StampCounter().restore(-5)
+
+    def test_thread_safety(self):
+        counter = StampCounter()
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [counter.next() for _ in range(500)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 8 * 500  # all unique
+
+
+class TestUpdateMemoBasics:
+    def test_new_object_gets_entry_with_n_old_one(self):
+        """Figure 4: a fresh UM entry always starts at N_old = 1 — even a
+        first insert, which is what creates phantom entries (footnote 1)."""
+        memo = UpdateMemo()
+        memo.record_update(7, 100)
+        entry = memo.get(7)
+        assert entry.s_latest == 100
+        assert entry.n_old == 1
+
+    def test_update_bumps_latest_and_n_old(self):
+        memo = UpdateMemo()
+        memo.record_update(7, 100)
+        memo.record_update(7, 200)
+        entry = memo.get(7)
+        assert entry.s_latest == 200
+        assert entry.n_old == 2
+
+    def test_check_status(self):
+        memo = UpdateMemo()
+        assert memo.check_status(7, 50) == LATEST  # no entry -> latest
+        memo.record_update(7, 100)
+        assert memo.check_status(7, 100) == LATEST
+        assert memo.check_status(7, 99) == OBSOLETE
+        assert memo.is_obsolete(7, 99)
+        assert not memo.is_obsolete(7, 100)
+        assert not memo.is_obsolete(8, 1)
+
+    def test_note_cleaned_decrements_and_drops(self):
+        memo = UpdateMemo()
+        memo.record_update(7, 100)
+        memo.record_update(7, 200)
+        memo.note_cleaned(7)
+        assert memo.get(7).n_old == 1
+        memo.note_cleaned(7)
+        assert memo.get(7) is None  # N_old reached zero: entry removed
+
+    def test_note_cleaned_without_entry_raises(self):
+        memo = UpdateMemo()
+        with pytest.raises(KeyError):
+            memo.note_cleaned(7)
+
+    def test_no_entry_with_zero_n_old_exists(self):
+        """Invariant from Section 3.1: "no UM entry has N_old equivalent
+        to zero"."""
+        memo = UpdateMemo()
+        for oid in range(20):
+            memo.record_update(oid, oid + 1)
+        for oid in range(0, 20, 2):
+            memo.note_cleaned(oid)
+        for entry in memo:
+            assert entry.n_old >= 1
+
+
+class TestPhantomPurge:
+    def test_purges_only_older_than_threshold(self):
+        memo = UpdateMemo()
+        memo.record_update(1, 10)
+        memo.record_update(2, 20)
+        memo.record_update(3, 30)
+        purged = memo.purge_phantoms(21)
+        assert purged == 2
+        assert memo.get(1) is None
+        assert memo.get(2) is None
+        assert memo.get(3) is not None
+
+    def test_purge_empty(self):
+        memo = UpdateMemo()
+        assert memo.purge_phantoms(100) == 0
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        memo = UpdateMemo(n_buckets=4)
+        for oid in range(50):
+            memo.record_update(oid, oid * 10 + 1)
+        snapshot = memo.snapshot()
+        other = UpdateMemo(n_buckets=16)  # different bucket count is fine
+        other.restore(iter(snapshot))
+        assert len(other) == 50
+        for oid in range(50):
+            assert other.get(oid).s_latest == oid * 10 + 1
+
+    def test_restore_clears_previous(self):
+        memo = UpdateMemo()
+        memo.record_update(1, 1)
+        memo.restore(iter([(2, 5, 1)]))
+        assert memo.get(1) is None
+        assert memo.get(2).s_latest == 5
+
+
+class TestSizeMetrics:
+    def test_len_and_bytes(self):
+        memo = UpdateMemo()
+        for oid in range(10):
+            memo.record_update(oid, oid + 1)
+        assert len(memo) == 10
+        assert memo.size_bytes() == 10 * UM_ENTRY_BYTES
+
+    def test_total_n_old(self):
+        memo = UpdateMemo()
+        memo.record_update(1, 1)
+        memo.record_update(1, 2)
+        memo.record_update(2, 3)
+        assert memo.total_n_old() == 3
+
+    def test_bucket_lock_accessible(self):
+        memo = UpdateMemo(n_buckets=8)
+        lock = memo.bucket_lock(13)
+        assert lock is memo.bucket_locks[13 % 8]
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            UpdateMemo(n_buckets=0)
+
+
+class TestMemoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.sampled_from(["update", "clean"]),
+            ),
+            max_size=200,
+        )
+    )
+    def test_n_old_tracks_operations(self, ops):
+        """N_old equals (updates so far) - (cleans so far) for each oid,
+        and the entry exists iff that number is positive."""
+        memo = UpdateMemo(n_buckets=4)
+        counter = StampCounter()
+        balance = {}
+        for oid, kind in ops:
+            if kind == "update":
+                memo.record_update(oid, counter.next())
+                balance[oid] = balance.get(oid, 0) + 1
+            else:
+                if balance.get(oid, 0) > 0:
+                    memo.note_cleaned(oid)
+                    balance[oid] -= 1
+        for oid, count in balance.items():
+            entry = memo.get(oid)
+            if count > 0:
+                assert entry is not None and entry.n_old == count
+            else:
+                assert entry is None

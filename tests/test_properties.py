@@ -1,0 +1,178 @@
+"""Property-based end-to-end tests.
+
+The central invariant of the whole system (DESIGN.md invariant 1): after
+*any* interleaving of inserts, updates, deletes, token cleaning, crashes and
+recoveries, a range query over any tree returns exactly the live objects
+whose current MBR intersects the window — verified against a brute-force
+shadow dictionary.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.recovery import recover_option_iii
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.rtree.geometry import Rect
+
+coords = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _window(x: float, y: float, side: float) -> Rect:
+    return Rect(
+        max(0.0, x - side), max(0.0, y - side),
+        min(1.0, x + side), min(1.0, y + side),
+    )
+
+
+class _IndexMachine(RuleBasedStateMachine):
+    """Drives one index implementation against a shadow oracle."""
+
+    def _build(self):  # overridden per concrete machine
+        raise NotImplementedError
+
+    @initialize()
+    def setup(self):
+        self.tree = self._build()
+        self.shadow = {}
+        self.next_oid = 0
+
+    @rule(x=coords, y=coords)
+    def insert(self, x, y):
+        rect = Rect.from_point(x, y)
+        self.tree.insert_object(self.next_oid, rect)
+        self.shadow[self.next_oid] = rect
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False), x=coords, y=coords)
+    def update(self, pick, x, y):
+        oid = pick.choice(sorted(self.shadow))
+        new = Rect.from_point(x, y)
+        self.tree.update_object(oid, self.shadow[oid], new)
+        self.shadow[oid] = new
+
+    @precondition(lambda self: self.shadow)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.shadow))
+        self.tree.delete_object(oid, self.shadow.pop(oid))
+
+    @rule(x=coords, y=coords, side=st.floats(min_value=0.01, max_value=0.5))
+    def query_matches_oracle(self, x, y, side):
+        window = _window(x, y, side)
+        got = sorted(oid for oid, _rect in self.tree.search(window))
+        want = sorted(
+            oid
+            for oid, rect in self.shadow.items()
+            if rect.intersects(window)
+        )
+        assert got == want
+
+    @invariant()
+    def structure_is_sound(self):
+        if hasattr(self, "tree"):
+            self.tree.check_invariants()
+
+
+class RStarMachine(_IndexMachine):
+    def _build(self):
+        return build_rstar_tree(node_size=512)
+
+
+class FURMachine(_IndexMachine):
+    def _build(self):
+        return build_fur_tree(node_size=512)
+
+
+class RUMTouchMachine(_IndexMachine):
+    def _build(self):
+        return build_rum_tree(node_size=512, inspection_ratio=0.3)
+
+
+class RUMTokenMachine(_IndexMachine):
+    def _build(self):
+        return build_rum_tree(
+            node_size=512, clean_upon_touch=False, inspection_ratio=0.5
+        )
+
+
+class RUMCrashMachine(_IndexMachine):
+    """RUM-tree with Option III logging plus crash/recover as a rule."""
+
+    def _build(self):
+        return build_rum_tree(
+            node_size=512,
+            inspection_ratio=0.3,
+            recovery_option="III",
+            checkpoint_interval=25,
+        )
+
+    @rule()
+    def crash_and_recover(self):
+        self.tree.crash()
+        recover_option_iii(self.tree)
+
+    @rule()
+    def force_clean_cycle(self):
+        self.tree.cleaner.run_full_cycle()
+
+
+_machine_settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestRStarMachine = RStarMachine.TestCase
+TestRStarMachine.settings = _machine_settings
+TestFURMachine = FURMachine.TestCase
+TestFURMachine.settings = _machine_settings
+TestRUMTouchMachine = RUMTouchMachine.TestCase
+TestRUMTouchMachine.settings = _machine_settings
+TestRUMTokenMachine = RUMTokenMachine.TestCase
+TestRUMTokenMachine.settings = _machine_settings
+TestRUMCrashMachine = RUMCrashMachine.TestCase
+TestRUMCrashMachine.settings = _machine_settings
+
+
+class TestCrossTreeAgreement:
+    """All three trees replaying the same trace answer queries alike."""
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_same_answers(self, seed):
+        rng = random.Random(seed)
+        trees = [
+            build_rstar_tree(node_size=512),
+            build_fur_tree(node_size=512),
+            build_rum_tree(node_size=512, inspection_ratio=0.4),
+        ]
+        positions = {}
+        for oid in range(60):
+            rect = Rect.from_point(rng.random(), rng.random())
+            positions[oid] = rect
+            for tree in trees:
+                tree.insert_object(oid, rect)
+        for _ in range(120):
+            oid = rng.randrange(60)
+            new = Rect.from_point(rng.random(), rng.random())
+            for tree in trees:
+                tree.update_object(oid, positions[oid], new)
+            positions[oid] = new
+        for _ in range(15):
+            x, y = rng.random(), rng.random()
+            window = _window(x, y, 0.2)
+            answers = [
+                sorted(oid for oid, _r in tree.search(window))
+                for tree in trees
+            ]
+            assert answers[0] == answers[1] == answers[2]

@@ -1,0 +1,145 @@
+"""Tests for the PR-quadtree extension (classic and memo-based)."""
+
+import random
+
+import pytest
+
+from repro.extensions.quadtree import MAX_DEPTH, MemoQuadtree, PRQuadtree
+
+
+def _drive(tree, n=200, updates=400, seed=210):
+    rng = random.Random(seed)
+    pos = {}
+    for oid in range(n):
+        pos[oid] = (rng.random(), rng.random())
+        tree.insert_object(oid, *pos[oid])
+    for _ in range(updates):
+        oid = rng.randrange(n)
+        new = (rng.random(), rng.random())
+        tree.update_object(oid, pos[oid], new)
+        pos[oid] = new
+    return pos
+
+
+def _oracle(pos, x0, y0, x1, y1):
+    return sorted(
+        oid
+        for oid, (x, y) in pos.items()
+        if x0 <= x <= x1 and y0 <= y <= y1
+    )
+
+
+class TestPRQuadtree:
+    def test_range_search_matches_oracle(self):
+        tree = PRQuadtree(page_size=512)
+        pos = _drive(tree)
+        rng = random.Random(211)
+        for _ in range(40):
+            x0, y0 = rng.random() * 0.7, rng.random() * 0.7
+            got = sorted(
+                oid
+                for oid, _x, _y in tree.range_search(
+                    x0, y0, x0 + 0.3, y0 + 0.3
+                )
+            )
+            assert got == _oracle(pos, x0, y0, x0 + 0.3, y0 + 0.3)
+
+    def test_exactly_one_entry_per_object(self):
+        tree = PRQuadtree(page_size=512)
+        _drive(tree)
+        assert tree.num_entries() == 200
+
+    def test_subdivision_happens(self):
+        tree = PRQuadtree(page_size=256)
+        _drive(tree, n=300, updates=0)
+        assert tree.depth() >= 2
+        assert tree.num_leaves() > 4
+        # Buckets respect the capacity (except at the depth cap).
+        for leaf in tree.iter_leaves():
+            if leaf.depth < MAX_DEPTH:
+                assert len(leaf.entries) <= tree.bucket_cap
+
+    def test_duplicate_points_capped_by_max_depth(self):
+        tree = PRQuadtree(page_size=256)
+        for oid in range(100):
+            tree.insert_object(oid, 0.3, 0.3)
+        assert tree.depth() <= MAX_DEPTH
+        hits = tree.range_search(0.3, 0.3, 0.3, 0.3)
+        assert len(hits) == 100
+
+    def test_update_missing_raises(self):
+        tree = PRQuadtree()
+        with pytest.raises(KeyError):
+            tree.update_object(1, (0.5, 0.5), (0.6, 0.6))
+
+    def test_delete(self):
+        tree = PRQuadtree()
+        tree.insert_object(1, 0.4, 0.4)
+        tree.delete_object(1, (0.4, 0.4))
+        assert tree.range_search(0, 0, 1, 1) == []
+
+
+class TestMemoQuadtree:
+    def test_range_search_filters_obsolete(self):
+        tree = MemoQuadtree(page_size=512, inspection_ratio=0.3)
+        pos = _drive(tree, seed=212)
+        rng = random.Random(213)
+        for _ in range(40):
+            x0, y0 = rng.random() * 0.7, rng.random() * 0.7
+            got = sorted(
+                oid
+                for oid, _x, _y in tree.range_search(
+                    x0, y0, x0 + 0.3, y0 + 0.3
+                )
+            )
+            assert got == _oracle(pos, x0, y0, x0 + 0.3, y0 + 0.3)
+
+    def test_full_sweep_drains_garbage(self):
+        tree = MemoQuadtree(
+            page_size=512, inspection_ratio=0.0, clean_upon_touch=False
+        )
+        _drive(tree, n=120, updates=240, seed=214)
+        assert tree.garbage_count() > 0
+        tree.run_full_sweep()
+        assert tree.garbage_count() == 0
+        assert tree.num_entries() == 120
+
+    def test_update_does_not_need_old_position(self):
+        tree = MemoQuadtree()
+        tree.insert_object(1, 0.2, 0.2)
+        tree.update_object(1, None, (0.8, 0.8))
+        assert tree.range_search(0, 0, 0.5, 0.5) == []
+        assert tree.range_search(0.7, 0.7, 0.9, 0.9) == [(1, 0.8, 0.8)]
+
+    def test_delete_is_memo_only(self):
+        tree = MemoQuadtree(inspection_ratio=0.0, clean_upon_touch=False)
+        tree.insert_object(1, 0.5, 0.5)
+        before = tree.stats.leaf_reads + tree.stats.leaf_writes
+        tree.delete_object(1)
+        assert tree.stats.leaf_reads + tree.stats.leaf_writes == before
+        assert tree.range_search(0, 0, 1, 1) == []
+
+    def test_memo_update_cheaper_than_classic(self):
+        classic = PRQuadtree(page_size=512)
+        memo = MemoQuadtree(page_size=512, inspection_ratio=0.2)
+        _drive(classic, seed=215)
+        _drive(memo, seed=215)
+        classic_io = classic.stats.leaf_reads + classic.stats.leaf_writes
+        memo_io = memo.stats.leaf_reads + memo.stats.leaf_writes
+        assert memo_io < classic_io
+
+    def test_sweep_survives_splits_between_rounds(self):
+        tree = MemoQuadtree(
+            page_size=256, inspection_ratio=0.5, clean_upon_touch=False
+        )
+        pos = _drive(tree, n=150, updates=600, seed=216)
+        rng = random.Random(217)
+        for _ in range(30):
+            x0, y0 = rng.random() * 0.6, rng.random() * 0.6
+            got = sorted(
+                oid
+                for oid, _x, _y in tree.range_search(
+                    x0, y0, x0 + 0.35, y0 + 0.35
+                )
+            )
+            assert got == _oracle(pos, x0, y0, x0 + 0.35, y0 + 0.35)

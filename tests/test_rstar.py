@@ -1,0 +1,103 @@
+"""Tests for the R*-tree baseline and its top-down update path."""
+
+import random
+
+import pytest
+
+from conftest import assert_search_matches_oracle, populate, random_walk
+from repro.rtree.geometry import Rect
+from repro.rtree.rstar import ObjectNotFoundError
+
+
+class TestObjectProtocol:
+    def test_insert_and_search(self, rstar_tree):
+        rstar_tree.insert_object(1, Rect.from_point(0.3, 0.3))
+        assert rstar_tree.search(Rect(0.2, 0.2, 0.4, 0.4)) == [
+            (1, Rect.from_point(0.3, 0.3))
+        ]
+
+    def test_update_moves_object(self, rstar_tree):
+        old = Rect.from_point(0.1, 0.1)
+        new = Rect.from_point(0.9, 0.9)
+        rstar_tree.insert_object(1, old)
+        rstar_tree.update_object(1, old, new)
+        assert rstar_tree.search(Rect(0.0, 0.0, 0.2, 0.2)) == []
+        assert rstar_tree.search(Rect(0.8, 0.8, 1.0, 1.0)) == [(1, new)]
+
+    def test_update_missing_raises(self, rstar_tree):
+        with pytest.raises(ObjectNotFoundError):
+            rstar_tree.update_object(
+                99, Rect.from_point(0.5, 0.5), Rect.from_point(0.6, 0.6)
+            )
+
+    def test_delete_object(self, rstar_tree):
+        rect = Rect.from_point(0.4, 0.4)
+        rstar_tree.insert_object(1, rect)
+        rstar_tree.delete_object(1, rect)
+        assert rstar_tree.search(Rect(0, 0, 1, 1)) == []
+
+    def test_delete_missing_raises(self, rstar_tree):
+        with pytest.raises(ObjectNotFoundError):
+            rstar_tree.delete_object(1, Rect.from_point(0.5, 0.5))
+
+    def test_lookup(self, rstar_tree):
+        rect = Rect.from_point(0.25, 0.75)
+        rstar_tree.insert_object(5, rect)
+        assert rstar_tree.lookup(5, rect) == rect
+        assert rstar_tree.lookup(5, Rect.from_point(0.1, 0.1)) is None
+
+
+class TestTopDownUpdateWorkload:
+    def test_long_random_walk_stays_correct(self, rstar_tree):
+        positions = populate(rstar_tree, 150, seed=30)
+        random_walk(rstar_tree, positions, steps=800, seed=31, distance=0.15)
+        assert_search_matches_oracle(rstar_tree, positions)
+        rstar_tree.check_invariants()
+        # Exactly one entry per object survives the churn.
+        assert rstar_tree.num_leaf_entries() == 150
+
+    def test_update_is_delete_plus_insert_cost(self, rstar_tree):
+        """The top-down update pays IO_search + 3 (Section 4.2.1): at
+        least one read for the search, one write for the delete, one
+        read + one write for the insert."""
+        positions = populate(rstar_tree, 200, seed=32)
+        stats = rstar_tree.stats
+        rng = random.Random(33)
+        for oid in list(positions)[:30]:
+            old = positions[oid]
+            new = Rect.from_point(rng.random(), rng.random())
+            before = stats.snapshot()
+            rstar_tree.update_object(oid, old, new)
+            delta = stats.snapshot() - before
+            positions[oid] = new
+            assert delta.leaf_reads >= 2  # deletion search + insert read
+            assert delta.leaf_writes >= 2  # delete write + insert write
+
+    def test_search_cost_grows_with_extent(self):
+        """Wider entry MBRs contain fewer leaf MBRs (Lemma 2), so the
+        deletion search must visit more paths as extents grow."""
+        from repro.factory import build_rstar_tree
+
+        costs = {}
+        for extent in (0.0, 0.05):
+            tree = build_rstar_tree(node_size=512)
+            rng = random.Random(34)
+            positions = {}
+            for oid in range(250):
+                rect = Rect.from_center(
+                    0.1 + 0.8 * rng.random(), 0.1 + 0.8 * rng.random(), extent
+                )
+                positions[oid] = rect
+                tree.insert_object(oid, rect)
+            before = tree.stats.snapshot()
+            for oid in list(positions)[:60]:
+                old = positions[oid]
+                new = Rect.from_center(
+                    0.1 + 0.8 * rng.random(), 0.1 + 0.8 * rng.random(), extent
+                )
+                tree.update_object(oid, old, new)
+                positions[oid] = new
+            costs[extent] = (
+                tree.stats.snapshot() - before
+            ).leaf_total
+        assert costs[0.05] > costs[0.0]

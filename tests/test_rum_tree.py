@@ -1,0 +1,218 @@
+"""Behavioural tests for the RUM-tree: memo-based updates, filtering
+searches, deletes, clean-upon-touch, and the garbage metrics."""
+
+import random
+
+import pytest
+
+from conftest import (
+    SMALL_NODE,
+    assert_search_matches_oracle,
+    leaf_entry_count,
+    populate,
+    random_walk,
+)
+from repro.factory import build_rum_tree, build_storage
+from repro.core.rum import RUMTree
+from repro.rtree.geometry import Rect
+
+
+class TestConstruction:
+    def test_requires_rum_codec(self):
+        with pytest.raises(ValueError):
+            RUMTree(build_storage(SMALL_NODE, rum_leaves=False))
+
+    def test_leaf_ring_maintained_by_default(self, rum_tree):
+        assert rum_tree.maintain_leaf_ring is True
+
+    def test_recovery_option_validation(self):
+        with pytest.raises(ValueError):
+            build_rum_tree(node_size=SMALL_NODE, recovery_option="IV")
+        with pytest.raises(ValueError):
+            RUMTree(
+                build_storage(SMALL_NODE, rum_leaves=True),
+                recovery_option="II",
+                wal=None,
+            )
+
+    def test_negative_inspection_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            build_rum_tree(node_size=SMALL_NODE, inspection_ratio=-0.1)
+
+
+class TestMemoBasedUpdate:
+    def test_update_does_not_need_old_value(self, rum_tree):
+        rum_tree.insert_object(1, Rect.from_point(0.1, 0.1))
+        # old_rect=None: the memo approach never looks at it.
+        rum_tree.update_object(1, None, Rect.from_point(0.9, 0.9))
+        assert rum_tree.search(Rect(0.8, 0.8, 1.0, 1.0)) == [
+            (1, Rect.from_point(0.9, 0.9))
+        ]
+        assert rum_tree.search(Rect(0.0, 0.0, 0.2, 0.2)) == []
+
+    def test_update_leaves_obsolete_entry_behind(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=False, inspection_ratio=0.0
+        )
+        tree.insert_object(1, Rect.from_point(0.1, 0.1))
+        tree.update_object(1, None, Rect.from_point(0.9, 0.9))
+        # Physically two entries, logically one object.
+        assert leaf_entry_count(tree) == 2
+        assert tree.garbage_count() == 1
+        assert len(tree.search(Rect(0, 0, 1, 1))) == 1
+
+    def test_stamps_strictly_increase_per_object(self, rum_tree):
+        rum_tree.insert_object(1, Rect.from_point(0.5, 0.5))
+        for i in range(5):
+            rum_tree.update_object(1, None, Rect.from_point(0.5, 0.1 * i))
+        stamps = [
+            e.stamp for e in rum_tree.iter_leaf_entries() if e.oid == 1
+        ]
+        assert len(stamps) == len(set(stamps))
+
+    def test_update_io_is_insert_io(self):
+        """The defining property: an update costs what an insert costs —
+        no deletion search, no secondary-index access."""
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=True, inspection_ratio=0.0
+        )
+        populate(tree, 150, seed=60)
+        stats = tree.stats
+        rng = random.Random(61)
+        costs = []
+        for oid in range(50):
+            before = stats.snapshot()
+            tree.update_object(
+                oid, None, Rect.from_point(rng.random(), rng.random())
+            )
+            delta = stats.snapshot() - before
+            assert delta.index_total == 0
+            costs.append(delta.leaf_total)
+        assert sorted(costs)[len(costs) // 2] == 2  # 1 read + 1 write
+
+
+class TestDelete:
+    def test_delete_never_touches_the_tree(self, rum_tree):
+        populate(rum_tree, 50, seed=62)
+        before = rum_tree.stats.snapshot()
+        rum_tree.delete_object(7)
+        delta = rum_tree.stats.snapshot() - before
+        assert delta.leaf_total == 0  # Figure 5: memo-only operation
+
+    def test_deleted_object_filtered_from_queries(self, rum_tree):
+        positions = populate(rum_tree, 80, seed=63)
+        alive = set(positions)
+        for oid in (3, 10, 42):
+            rum_tree.delete_object(oid)
+            alive.discard(oid)
+        assert_search_matches_oracle(rum_tree, positions, alive=alive)
+
+    def test_delete_nonexistent_is_harmless_phantom(self, rum_tree):
+        """Deleting an object that never existed only creates a phantom
+        memo entry; queries stay correct (Section 3.2 discussion)."""
+        positions = populate(rum_tree, 40, seed=64)
+        rum_tree.delete_object(999)
+        assert rum_tree.memo.get(999) is not None
+        assert_search_matches_oracle(rum_tree, positions)
+
+    def test_reinsert_after_delete(self, rum_tree):
+        rum_tree.insert_object(1, Rect.from_point(0.2, 0.2))
+        rum_tree.delete_object(1)
+        rum_tree.insert_object(1, Rect.from_point(0.7, 0.7))
+        assert rum_tree.search(Rect(0, 0, 1, 1)) == [
+            (1, Rect.from_point(0.7, 0.7))
+        ]
+
+
+class TestSearchFiltering:
+    def test_filter_removes_all_obsolete_versions(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=False, inspection_ratio=0.0
+        )
+        # Many versions of one object inside the same query window.
+        tree.insert_object(1, Rect.from_point(0.5, 0.5))
+        for i in range(10):
+            tree.update_object(1, None, Rect.from_point(0.5, 0.5))
+        hits = tree.search(Rect(0.4, 0.4, 0.6, 0.6))
+        assert len(hits) == 1
+
+    def test_correct_under_heavy_churn(self):
+        tree = build_rum_tree(node_size=SMALL_NODE, inspection_ratio=0.3)
+        positions = populate(tree, 120, seed=65)
+        random_walk(tree, positions, steps=900, seed=66, distance=0.2)
+        assert_search_matches_oracle(tree, positions)
+        tree.check_invariants()
+
+
+class TestCleanUponTouch:
+    def test_touch_cleans_same_leaf_versions(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=True, inspection_ratio=0.0
+        )
+        tree.insert_object(1, Rect.from_point(0.5, 0.5))
+        for _ in range(20):
+            # Tiny moves: the new entry lands in the leaf holding the old
+            # one, which clean-upon-touch then sweeps for free.
+            tree.update_object(1, None, Rect.from_point(0.5, 0.5))
+        assert leaf_entry_count(tree) <= 3
+
+    def test_touch_reduces_garbage_vs_token_only(self):
+        results = {}
+        for touch in (False, True):
+            tree = build_rum_tree(
+                node_size=SMALL_NODE,
+                clean_upon_touch=touch,
+                inspection_ratio=0.1,
+            )
+            positions = populate(tree, 150, seed=67)
+            random_walk(tree, positions, steps=600, seed=68, distance=0.05)
+            results[touch] = tree.garbage_count()
+        assert results[True] < results[False]
+
+    def test_touch_costs_no_extra_io(self):
+        """Clean-upon-touch must not change the I/O of an update that hits
+        a garbage-free leaf, and must cost the same 2 I/Os when cleaning."""
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=True, inspection_ratio=0.0
+        )
+        tree.insert_object(1, Rect.from_point(0.5, 0.5))
+        before = tree.stats.snapshot()
+        tree.update_object(1, None, Rect.from_point(0.5, 0.5))
+        delta = tree.stats.snapshot() - before
+        assert delta.leaf_total == 2  # read + write, cleaning included
+
+
+class TestGarbageMetrics:
+    def test_garbage_count_exact(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE, clean_upon_touch=False, inspection_ratio=0.0
+        )
+        populate(tree, 50, seed=69)
+        assert tree.garbage_count() == 0
+        for oid in range(10):
+            tree.update_object(oid, None, Rect.from_point(0.9, 0.9))
+        # Each update created one obsolete entry; splits may already have
+        # swept a few for free (clean-on-split), which the cleaner counts.
+        assert tree.garbage_count() + tree.cleaner.entries_removed == 10
+        assert tree.garbage_ratio(50) == pytest.approx(
+            (10 - tree.cleaner.entries_removed) / 50
+        )
+
+    def test_garbage_ratio_zero_objects(self, rum_tree):
+        assert rum_tree.garbage_ratio(0) == 0.0
+
+    def test_memo_size_bytes(self, rum_tree):
+        populate(rum_tree, 30, seed=70)
+        assert rum_tree.memo_size_bytes() == rum_tree.memo.size_bytes()
+
+
+class TestEntryCountConservation:
+    def test_entries_equal_objects_plus_garbage(self):
+        """Physical leaf entries = live latest entries + obsolete ones;
+        the memo's total N_old upper-bounds the garbage."""
+        tree = build_rum_tree(node_size=SMALL_NODE, inspection_ratio=0.2)
+        positions = populate(tree, 100, seed=71)
+        random_walk(tree, positions, steps=400, seed=72, distance=0.1)
+        garbage = tree.garbage_count()
+        assert leaf_entry_count(tree) == 100 + garbage
+        assert tree.memo.total_n_old() >= garbage

@@ -1,0 +1,115 @@
+"""Tests for the split algorithms and forced-reinsert selection."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import LeafEntry
+from repro.rtree.split import (
+    REINSERT_FRACTION,
+    choose_reinsert_entries,
+    quadratic_split,
+    rstar_split,
+)
+
+
+def _entries(points):
+    return [LeafEntry(Rect.from_point(x, y), i) for i, (x, y) in enumerate(points)]
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return _entries([(rng.random(), rng.random()) for _ in range(n)])
+
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=6,
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("split_fn", [rstar_split, quadratic_split])
+class TestSplitInvariants:
+    def test_partition_is_exact(self, split_fn):
+        entries = _random_entries(20)
+        left, right = split_fn(entries, 4)
+        assert sorted(e.oid for e in left + right) == sorted(
+            e.oid for e in entries
+        )
+        assert not set(e.oid for e in left) & set(e.oid for e in right)
+
+    def test_min_fill_respected(self, split_fn):
+        entries = _random_entries(25, seed=3)
+        left, right = split_fn(entries, 5)
+        assert len(left) >= 5
+        assert len(right) >= 5
+
+    def test_too_few_entries_rejected(self, split_fn):
+        with pytest.raises(ValueError):
+            split_fn(_random_entries(5), 3)
+
+    def test_duplicate_points_split(self, split_fn):
+        entries = _entries([(0.5, 0.5)] * 12)
+        left, right = split_fn(entries, 3)
+        assert len(left) + len(right) == 12
+        assert len(left) >= 3 and len(right) >= 3
+
+
+class TestRStarSplitQuality:
+    def test_separates_two_clusters(self):
+        cluster_a = [(0.1 + 0.01 * i, 0.1) for i in range(6)]
+        cluster_b = [(0.8 + 0.01 * i, 0.9) for i in range(6)]
+        left, right = rstar_split(_entries(cluster_a + cluster_b), 3)
+        mbr_left = Rect.union_all(e.rect for e in left)
+        mbr_right = Rect.union_all(e.rect for e in right)
+        assert mbr_left.overlap_area(mbr_right) == 0.0
+
+    def test_prefers_low_margin_axis(self):
+        # Points on a horizontal line: the split must cut along x.
+        entries = _entries([(0.05 * i, 0.5) for i in range(16)])
+        left, right = rstar_split(entries, 4)
+        mbr_left = Rect.union_all(e.rect for e in left)
+        mbr_right = Rect.union_all(e.rect for e in right)
+        assert mbr_left.xmax <= mbr_right.xmin or mbr_right.xmax <= mbr_left.xmin
+
+    @given(point_lists)
+    def test_property_partition(self, points):
+        entries = _entries(points)
+        minimum = max(2, len(entries) // 4)
+        if len(entries) < 2 * minimum:
+            return
+        left, right = rstar_split(entries, minimum)
+        assert len(left) + len(right) == len(entries)
+        assert len(left) >= minimum and len(right) >= minimum
+
+
+class TestChooseReinsertEntries:
+    def test_fraction_and_order(self):
+        entries = _entries(
+            [(0.5, 0.5)] * 7 + [(0.0, 0.0), (1.0, 1.0), (0.9, 0.1)]
+        )
+        keep, evicted = choose_reinsert_entries(entries)
+        assert len(evicted) == max(1, int(round(len(entries) * REINSERT_FRACTION)))
+        assert len(keep) + len(evicted) == len(entries)
+        # Evicted entries are the ones farthest from the MBR centre.
+        node_mbr = Rect.union_all(e.rect for e in entries)
+        max_kept = max(e.rect.center_distance(node_mbr) for e in keep)
+        min_evicted = min(e.rect.center_distance(node_mbr) for e in evicted)
+        assert min_evicted >= max_kept - 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose_reinsert_entries([])
+
+    def test_custom_fraction(self):
+        entries = _random_entries(10)
+        keep, evicted = choose_reinsert_entries(entries, fraction=0.5)
+        assert len(evicted) == 5
+        assert len(keep) == 5

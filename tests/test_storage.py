@@ -1,0 +1,370 @@
+"""Tests for the disk manager, I/O counters, buffer pool, and WAL."""
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import LeafEntry
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import NodeCodec
+from repro.storage.disk import DiskManager, PageNotAllocatedError
+from repro.storage.iostats import IOSnapshot, IOStats
+from repro.storage.wal import (
+    CHECKPOINT_HEADER_BYTES,
+    UM_ENTRY_BYTES,
+    WriteAheadLog,
+)
+
+
+class TestDiskManager:
+    def test_allocate_read_write(self):
+        disk = DiskManager(128)
+        pid = disk.allocate()
+        assert disk.is_allocated(pid)
+        assert disk.read_page(pid) == b"\x00" * 128
+        disk.write_page(pid, b"\x01" * 128)
+        assert disk.read_page(pid) == b"\x01" * 128
+
+    def test_free_and_reuse(self):
+        disk = DiskManager(128)
+        a = disk.allocate()
+        disk.free(a)
+        assert not disk.is_allocated(a)
+        b = disk.allocate()
+        assert b == a  # freed ids are recycled
+
+    def test_read_unallocated_raises(self):
+        disk = DiskManager(128)
+        with pytest.raises(PageNotAllocatedError):
+            disk.read_page(0)
+        with pytest.raises(PageNotAllocatedError):
+            disk.write_page(0, b"\x00" * 128)
+        with pytest.raises(PageNotAllocatedError):
+            disk.free(0)
+
+    def test_wrong_write_size_raises(self):
+        disk = DiskManager(128)
+        pid = disk.allocate()
+        with pytest.raises(ValueError):
+            disk.write_page(pid, b"\x00" * 127)
+
+    def test_counters_and_introspection(self):
+        disk = DiskManager(128)
+        pids = [disk.allocate() for _ in range(3)]
+        for pid in pids:
+            disk.read_page(pid)
+        assert disk.reads == 3
+        assert disk.num_pages() == 3
+        assert disk.total_bytes() == 3 * 128
+        assert list(disk.page_ids()) == sorted(pids)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            DiskManager(0)
+
+
+class TestIOStats:
+    def test_snapshot_delta(self):
+        stats = IOStats()
+        stats.record_read(is_leaf=True)
+        before = stats.snapshot()
+        stats.record_read(is_leaf=True)
+        stats.record_write(is_leaf=False)
+        stats.index_reads += 2
+        delta = stats.snapshot() - before
+        assert delta.leaf_reads == 1
+        assert delta.internal_writes == 1
+        assert delta.index_reads == 2
+        assert delta.leaf_total == 1
+        assert delta.counted_total == 3
+        assert delta.grand_total == 4
+
+    def test_snapshot_addition(self):
+        a = IOSnapshot(leaf_reads=1, log_writes=2)
+        b = IOSnapshot(leaf_reads=3, index_writes=4)
+        c = a + b
+        assert c.leaf_reads == 4
+        assert c.log_writes == 2
+        assert c.index_writes == 4
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_write(is_leaf=True)
+        stats.reset()
+        assert stats.snapshot() == IOSnapshot()
+
+
+def _stack(node_size=512, rum=False):
+    stats = IOStats()
+    disk = DiskManager(node_size)
+    codec = NodeCodec(node_size, rum_leaves=rum)
+    return BufferPool(disk, codec, stats), stats
+
+
+class TestBufferPool:
+    def test_one_read_per_leaf_per_operation(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        pid = leaf.page_id
+        assert stats.leaf_writes == 1
+
+        with buffer.operation():
+            a = buffer.get_node(pid)
+            b = buffer.get_node(pid)
+            assert a is b
+        assert stats.leaf_reads == 1  # second access was free
+
+    def test_one_write_per_leaf_per_operation(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        pid = leaf.page_id
+        stats.reset()
+        with buffer.operation():
+            node = buffer.get_node(pid)
+            node.entries.append(LeafEntry(Rect.from_point(0.5, 0.5), 1))
+            buffer.mark_dirty(node)
+            node.entries.append(LeafEntry(Rect.from_point(0.6, 0.6), 2))
+            buffer.mark_dirty(node)
+        assert stats.leaf_writes == 1  # both dirties coalesced
+        assert stats.leaf_reads == 1
+
+    def test_nested_operations_flatten(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        stats.reset()
+        with buffer.operation():
+            with buffer.operation():
+                node = buffer.get_node(leaf.page_id)
+                buffer.mark_dirty(node)
+            # Inner exit must NOT flush: same op continues.
+            assert stats.leaf_writes == 0
+        assert stats.leaf_writes == 1
+
+    def test_internal_nodes_cached_and_lazy(self):
+        buffer, stats = _stack()
+        internal = buffer.new_node(is_leaf=False)
+        buffer.flush()
+        buffer.drop_volatile()
+        stats.reset()
+        a = buffer.get_node(internal.page_id)
+        b = buffer.get_node(internal.page_id)
+        assert a is b
+        assert stats.internal_reads == 1
+        assert stats.leaf_reads == 0
+
+    def test_write_through_outside_operation(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        stats.reset()
+        node = buffer.get_node(leaf.page_id)  # uncached single access
+        assert stats.leaf_reads == 1
+        node.entries.append(LeafEntry(Rect.from_point(0.2, 0.2), 9))
+        buffer.mark_dirty(node)
+        assert stats.leaf_writes == 1  # immediate write-through
+
+    def test_dirty_data_reaches_disk(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+            leaf.entries.append(LeafEntry(Rect.from_point(0.3, 0.3), 5))
+            buffer.mark_dirty(leaf)
+        buffer.drop_volatile()
+        with buffer.operation():
+            back = buffer.get_node(leaf.page_id)
+            assert back.entries[0].oid == 5
+
+    def test_flush_writes_dirty_internal(self):
+        buffer, stats = _stack()
+        node = buffer.new_node(is_leaf=False)
+        assert stats.internal_writes == 0
+        buffer.flush()
+        assert stats.internal_writes == 1
+        buffer.flush()  # now clean: no extra write
+        assert stats.internal_writes == 1
+
+    def test_flush_inside_operation_rejected(self):
+        buffer, _stats = _stack()
+        with buffer.operation():
+            with pytest.raises(RuntimeError):
+                buffer.flush()
+
+    def test_free_node_discards_dirty_state(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+            buffer.free_node(leaf)
+        # Freed before the op ended: nothing to write.
+        assert stats.leaf_writes == 0
+        assert not buffer.disk.is_allocated(leaf.page_id)
+
+    def test_crash_model_flush_then_drop(self):
+        buffer, _stats = _stack()
+        internal = buffer.new_node(is_leaf=False)
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        buffer.flush()
+        buffer.drop_volatile()
+        assert buffer.cached_internal_nodes() == 0
+        # Both survive on disk.
+        assert buffer.get_node(internal.page_id).page_id == internal.page_id
+        assert buffer.get_node(leaf.page_id).page_id == leaf.page_id
+
+
+class TestWriteAheadLog:
+    def test_page_fill_accounting(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.append("memo", None, 60)
+        assert stats.log_writes == 0  # page not yet full
+        wal.append("memo", None, 60)  # crosses the page boundary
+        assert stats.log_writes == 1
+
+    def test_force_flush(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.append("memo", None, 10, force=True)
+        assert stats.log_writes == 1
+        wal.append("memo", None, 10, force=True)
+        assert stats.log_writes == 2  # forcing the same page costs again
+
+    def test_large_record_spans_pages(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.append("checkpoint", None, 250)
+        assert stats.log_writes == 2  # two full pages, one partial open
+
+    def test_checkpoint_sizing(self):
+        stats = IOStats()
+        wal = WriteAheadLog(4096, stats)
+        snapshot = [(i, i, 1) for i in range(10)]
+        record = wal.append_checkpoint(snapshot, 99)
+        assert record.nbytes == CHECKPOINT_HEADER_BYTES + 10 * UM_ENTRY_BYTES
+        assert wal.last_checkpoint() is record
+        assert record.payload == (99, snapshot)
+
+    def test_last_checkpoint_none(self):
+        wal = WriteAheadLog(4096, IOStats())
+        assert wal.last_checkpoint() is None
+
+    def test_read_from_charges_pages(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        for i in range(10):
+            wal.append_memo_change(i, i, force=False)
+        stats.reset()
+        records = wal.read_from(0)
+        assert len(records) == 10
+        assert stats.log_reads == -(-10 * 24 // 100)
+
+    def test_read_from_lsn_filters(self):
+        wal = WriteAheadLog(1000, IOStats())
+        first = wal.append_memo_change(1, 1)
+        second = wal.append_memo_change(2, 2)
+        assert [r.lsn for r in wal.read_from(second.lsn)] == [second.lsn]
+        assert len(wal.read_from(first.lsn)) == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(0, IOStats())
+        wal = WriteAheadLog(100, IOStats())
+        with pytest.raises(ValueError):
+            wal.append("memo", None, 0)
+
+    def test_total_bytes_and_len(self):
+        wal = WriteAheadLog(1000, IOStats())
+        wal.append("memo", None, 24)
+        wal.append("memo", None, 24)
+        assert len(wal) == 2
+        assert wal.total_bytes() == 48
+
+
+class TestResidentLeafLRU:
+    """The optional cross-operation leaf cache (buffer ablation)."""
+
+    def _stack_with_cache(self, pages):
+        stats = IOStats()
+        disk = DiskManager(512)
+        codec = NodeCodec(512)
+        return BufferPool(disk, codec, stats, leaf_cache_pages=pages), stats
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ValueError):
+            self._stack_with_cache(-1)
+
+    def test_repeated_access_hits_cache(self):
+        buffer, stats = self._stack_with_cache(4)
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        stats.reset()
+        for _ in range(5):
+            with buffer.operation():
+                buffer.get_node(leaf.page_id)
+        assert stats.leaf_reads == 0  # resident since creation
+
+    def test_dirty_page_written_once_on_eviction(self):
+        buffer, stats = self._stack_with_cache(2)
+        pages = []
+        for _ in range(2):
+            with buffer.operation():
+                node = buffer.new_node(is_leaf=True)
+                node.entries.append(LeafEntry(Rect.from_point(0.5, 0.5), 1))
+                buffer.mark_dirty(node)
+            pages.append(node.page_id)
+        assert stats.leaf_writes == 0  # both still resident, nothing flushed
+        # Two more pages evict the first two (LRU), writing them back.
+        for _ in range(2):
+            with buffer.operation():
+                buffer.new_node(is_leaf=True)
+        assert stats.leaf_writes == 2
+
+    def test_flush_writes_dirty_resident_pages(self):
+        buffer, stats = self._stack_with_cache(8)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            node.entries.append(LeafEntry(Rect.from_point(0.1, 0.1), 7))
+            buffer.mark_dirty(node)
+        assert stats.leaf_writes == 0
+        buffer.flush()
+        assert stats.leaf_writes == 1
+        buffer.flush()  # clean now
+        assert stats.leaf_writes == 1
+        # The flushed content is durable.
+        buffer.drop_volatile()
+        back = buffer.get_node(node.page_id)
+        assert back.entries[0].oid == 7
+
+    def test_dirty_flag_carried_into_operation(self):
+        buffer, stats = self._stack_with_cache(8)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            node.entries.append(LeafEntry(Rect.from_point(0.2, 0.2), 1))
+            buffer.mark_dirty(node)
+        # Resident and dirty; a new operation pulls it back in and must
+        # not lose the pending write.
+        with buffer.operation():
+            same = buffer.get_node(node.page_id)
+            assert same is node
+        buffer.flush()
+        buffer.drop_volatile()
+        assert buffer.get_node(node.page_id).entries[0].oid == 1
+
+    def test_free_node_discards_resident_dirty_page(self):
+        buffer, stats = self._stack_with_cache(8)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            buffer.mark_dirty(node)
+        buffer.free_node(node)
+        buffer.flush()
+        assert stats.leaf_writes == 0  # never written: it was freed
+
+    def test_default_has_no_resident_cache(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            leaf = buffer.new_node(is_leaf=True)
+        stats.reset()
+        with buffer.operation():
+            buffer.get_node(leaf.page_id)
+        assert stats.leaf_reads == 1  # paper model: re-read every op
