@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Tracked micro-benchmarks for the simulator's hot paths.
+
+Unlike the ``bench_fig*`` experiment replays, these measure the raw
+throughput of the layers every experiment sits on: the page codec, the
+buffer pool, the update memo, and one small end-to-end update/query run.
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py [output.json]
+
+It prints one line per metric and writes ``BENCH_micro.json`` at the repo
+root (or to the path given as the first argument) with the schema::
+
+    {
+      "schema": "bench_micro/v1",
+      "scale": <REPRO_BENCH_SCALE in effect>,
+      "node_size": 8192,
+      "metrics": {
+        "<name>": {"ops_per_sec": <float>, "iterations": <int>},
+        ...
+      }
+    }
+
+Metric names are stable identifiers; ``scripts/bench_compare.py`` diffs
+two such files and flags regressions.  Iteration counts scale with
+``REPRO_BENCH_SCALE`` so the CI smoke run stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import time
+from typing import Callable, Dict
+
+if __name__ == "__main__":  # allow running without an installed package
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.core.memo import UpdateMemo
+from repro.experiments.harness import (
+    bench_scale,
+    load_tree,
+    make_tree,
+    measure_queries,
+    measure_updates,
+    scaled,
+)
+from repro.rtree.geometry import Rect
+from repro.rtree.node import IndexEntry, LeafEntry, Node
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import NodeCodec
+from repro.storage.disk import DiskManager
+from repro.storage.iostats import IOStats
+from repro.workload.objects import default_network_workload
+from repro.workload.queries import RangeQueryGenerator
+
+SCHEMA = "bench_micro/v1"
+NODE_SIZE = 8192
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_micro.json"
+
+
+def _timed(fn: Callable[[], None], iterations: int) -> float:
+    """Run ``fn`` ``iterations`` times; ops/sec of one ``fn`` call."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    elapsed = time.perf_counter() - t0
+    return iterations / elapsed if elapsed > 0 else float("inf")
+
+
+def _random_rect(rng: random.Random) -> Rect:
+    x1, x2 = sorted((rng.random(), rng.random()))
+    y1, y2 = sorted((rng.random(), rng.random()))
+    return Rect(x1, y1, x2, y2)
+
+
+def _full_leaf(codec: NodeCodec, rng: random.Random) -> Node:
+    entries = [
+        LeafEntry(_random_rect(rng), oid=i, stamp=3 * i)
+        for i in range(codec.leaf_cap)
+    ]
+    return Node(1, True, entries, prev_leaf=7, next_leaf=9)
+
+
+def _full_index(codec: NodeCodec, rng: random.Random) -> Node:
+    entries = [
+        IndexEntry(_random_rect(rng), child_id=i + 1)
+        for i in range(codec.index_cap)
+    ]
+    return Node(2, False, entries)
+
+
+def bench_codec(metrics: Dict, iters: int) -> None:
+    rng = random.Random(7)
+    for label, rum_leaves, maker in (
+        ("classic_leaf", False, _full_leaf),
+        ("rum_leaf", True, _full_leaf),
+        ("index", False, _full_index),
+    ):
+        codec = NodeCodec(NODE_SIZE, rum_leaves=rum_leaves)
+        node = maker(codec, rng)
+        page = codec.encode(node)
+
+        def encode() -> None:
+            node.cached_bytes = None  # defeat the clean-page cache
+            codec.encode(node)
+
+        def decode() -> None:
+            codec.decode(1, page, lazy=False)
+
+        metrics[f"codec.encode_{label}"] = {
+            "ops_per_sec": _timed(encode, iters), "iterations": iters,
+        }
+        metrics[f"codec.decode_{label}"] = {
+            "ops_per_sec": _timed(decode, iters), "iterations": iters,
+        }
+    codec = NodeCodec(NODE_SIZE, rum_leaves=True)
+    page = codec.encode(_full_leaf(codec, rng))
+    lazy_iters = iters * 10
+
+    def decode_lazy() -> None:
+        codec.decode(1, page, lazy=True)
+
+    metrics["codec.decode_lazy_header"] = {
+        "ops_per_sec": _timed(decode_lazy, lazy_iters),
+        "iterations": lazy_iters,
+    }
+
+
+def bench_buffer(metrics: Dict, iters: int) -> None:
+    rng = random.Random(11)
+    codec = NodeCodec(2048, rum_leaves=True)
+    disk = DiskManager(2048)
+    buf = BufferPool(disk, codec, IOStats())
+    page_ids = []
+    for _ in range(32):
+        node = buf.new_node(is_leaf=True)
+        node.entries.extend(
+            LeafEntry(_random_rect(rng), oid=i, stamp=i)
+            for i in range(codec.leaf_cap // 2)
+        )
+        buf.mark_dirty(node)
+        page_ids.append(node.page_id)
+
+    def get_pages() -> None:
+        with buf.operation():
+            for pid in page_ids:
+                _ = buf.get_node(pid).entries  # materialise lazy leaves
+
+    def get_dirty_flush() -> None:
+        with buf.operation():
+            for pid in page_ids:
+                buf.mark_dirty(buf.get_node(pid))
+
+    n_pages = len(page_ids)
+    metrics["buffer.get_node"] = {
+        "ops_per_sec": _timed(get_pages, iters) * n_pages,
+        "iterations": iters * n_pages,
+    }
+    metrics["buffer.get_dirty_flush"] = {
+        "ops_per_sec": _timed(get_dirty_flush, iters) * n_pages,
+        "iterations": iters * n_pages,
+    }
+
+
+def bench_memo(metrics: Dict, iters: int) -> None:
+    memo = UpdateMemo(n_buckets=64)
+    n_oids = 512
+    stamp = 0
+
+    def memo_cycle() -> None:
+        # One record + one query + one clean per oid: the per-update
+        # pattern of the RUM-tree hot path.
+        nonlocal stamp
+        for oid in range(n_oids):
+            stamp += 1
+            memo.record_update(oid, stamp)
+            memo.check_status(oid, stamp)
+            if memo.is_obsolete(oid, stamp - 1):
+                memo.note_cleaned(oid)
+
+    rounds = max(1, iters // 50)
+    metrics["memo.update_check_clean"] = {
+        "ops_per_sec": _timed(memo_cycle, rounds) * n_oids,
+        "iterations": rounds * n_oids,
+    }
+
+
+def bench_end_to_end(metrics: Dict) -> None:
+    n = scaled(2000)
+    workload = default_network_workload(n, moving_distance=0.01, seed=11)
+    tree = make_tree("rum_touch", node_size=2048)
+    load_tree(tree, workload.initial())
+    updates = measure_updates(tree, workload, n)
+    metrics["end_to_end.update"] = {
+        "ops_per_sec": (
+            updates.updates / updates.cpu_seconds
+            if updates.cpu_seconds > 0 else float("inf")
+        ),
+        "iterations": updates.updates,
+    }
+    n_queries = scaled(200)
+    queries = measure_queries(
+        tree, RangeQueryGenerator(seed=2), n_queries
+    )
+    metrics["end_to_end.query"] = {
+        "ops_per_sec": (
+            queries.queries / queries.cpu_seconds
+            if queries.cpu_seconds > 0 else float("inf")
+        ),
+        "iterations": queries.queries,
+    }
+
+
+def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
+    scale = bench_scale()
+    iters = max(50, int(2000 * scale))
+    metrics: Dict = {}
+    bench_codec(metrics, iters)
+    bench_buffer(metrics, max(10, iters // 10))
+    bench_memo(metrics, iters)
+    bench_end_to_end(metrics)
+    report = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "node_size": NODE_SIZE,
+        "metrics": metrics,
+    }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for name in sorted(metrics):
+        print(f"{name:32s} {metrics[name]['ops_per_sec']:12.1f} ops/s")
+    print(f"wrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    run(pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT)

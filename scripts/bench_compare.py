@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Compare two ``bench_micro`` reports and flag regressions.
+
+Usage::
+
+    python scripts/bench_compare.py baseline.json current.json \
+        [--threshold 0.10]
+
+Prints one line per metric with the throughput ratio.  A metric regresses
+when its current ops/sec falls more than ``threshold`` (default 10%)
+below the baseline; any regression makes the script exit non-zero so CI
+can gate on it.  Metrics present in only one file are reported but never
+fail the comparison (the suite is allowed to grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "bench_micro/v1"
+
+
+def load_report(path: pathlib.Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"{path}: no such file") from None
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit(
+            f"{path}: unsupported schema {schema!r} (expected {SCHEMA!r})"
+        )
+    return report
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> int:
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"note: comparing different scales "
+            f"({baseline.get('scale')} vs {current.get('scale')})"
+        )
+    regressions = 0
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(name)
+        cur = cur_metrics.get(name)
+        if base is None:
+            print(f"  NEW      {name:32s} {cur['ops_per_sec']:12.1f} ops/s")
+            continue
+        if cur is None:
+            print(f"  REMOVED  {name:32s} {base['ops_per_sec']:12.1f} ops/s")
+            continue
+        b = base["ops_per_sec"]
+        c = cur["ops_per_sec"]
+        delta = (c / b - 1.0) if b > 0 else 0.0
+        status = "ok"
+        if delta < -threshold:
+            status = "REGRESSED"
+            regressions += 1
+        elif delta > threshold:
+            status = "improved"
+        print(
+            f"  {status:10s}{name:32s} {b:12.1f} -> {c:12.1f} ops/s "
+            f"({delta * 100:+6.1f}%)"
+        )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown tolerated before a metric is flagged "
+        "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+    regressions = compare(
+        load_report(args.baseline), load_report(args.current), args.threshold
+    )
+    if regressions:
+        print(f"{regressions} metric(s) regressed beyond "
+              f"{args.threshold * 100:.0f}%")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

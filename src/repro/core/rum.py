@@ -178,10 +178,11 @@ class RUMTree(RTreeBase):
     def search(self, window: Rect) -> List[Tuple[int, Rect]]:
         """All live objects whose latest MBR intersects ``window``."""
         raw = self.range_search(window)
+        check_status = self.memo.check_status
         return [
             (e.oid, e.rect)
             for e in raw
-            if self.memo.check_status(e.oid, e.stamp) == "LATEST"
+            if check_status(e.oid, e.stamp) == "LATEST"
         ]
 
     def nearest_neighbors(
@@ -222,16 +223,23 @@ class RUMTree(RTreeBase):
         middle of another structural operation.  Returns the number of
         entries removed; the caller owns MBR adjustment / condensation.
         """
+        budget = len(leaf) - keep_at_least
+        if budget <= 0:
+            # Nothing may be removed: skip the sweep without materialising
+            # the entries of a lazily decoded leaf.
+            return 0
         memo = self.memo
+        is_obsolete = memo.is_obsolete
+        note_cleaned = memo.note_cleaned
         kept: List[LeafEntry] = []
+        keep = kept.append
         removed = 0
-        budget = len(leaf.entries) - keep_at_least
         for entry in leaf.entries:
-            if removed < budget and memo.is_obsolete(entry.oid, entry.stamp):
-                memo.note_cleaned(entry.oid)
+            if removed < budget and is_obsolete(entry.oid, entry.stamp):
+                note_cleaned(entry.oid)
                 removed += 1
             else:
-                kept.append(entry)
+                keep(entry)
         if removed:
             leaf.entries = kept
             self.buffer.mark_dirty(leaf)

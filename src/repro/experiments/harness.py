@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -41,11 +42,30 @@ TREE_LABELS = {
 }
 
 
+#: Malformed ``REPRO_BENCH_SCALE`` values already warned about, so a bad
+#: setting produces exactly one warning per process, not one per call.
+_warned_bench_scales: set = set()
+
+
 def bench_scale() -> float:
-    """Global workload multiplier from the ``REPRO_BENCH_SCALE`` env var."""
+    """Global workload multiplier from the ``REPRO_BENCH_SCALE`` env var.
+
+    A value that does not parse as a float falls back to 1.0 with a
+    one-time :class:`RuntimeWarning` naming the offending value — a typo
+    in the variable should not silently run the full-size workload.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
     try:
-        return max(0.01, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+        return max(0.01, float(raw))
     except ValueError:
+        if raw not in _warned_bench_scales:
+            _warned_bench_scales.add(raw)
+            warnings.warn(
+                f"ignoring malformed REPRO_BENCH_SCALE={raw!r}; "
+                f"using scale 1.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1.0
 
 

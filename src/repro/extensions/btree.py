@@ -67,6 +67,7 @@ class BTreeNode:
         "children",
         "prev_leaf",
         "next_leaf",
+        "cached_bytes",
     )
 
     def __init__(self, page_id: int, is_leaf: bool):
@@ -78,6 +79,9 @@ class BTreeNode:
         self.children: List[int] = []
         self.prev_leaf = NO_PAGE
         self.next_leaf = NO_PAGE
+        # Page image matching the current state (see repro.rtree.node.Node);
+        # the buffer pool clears it on mark_dirty and reuses it on writes.
+        self.cached_bytes = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -130,7 +134,11 @@ class BTreeCodec:
             raise ValueError(f"node {node.page_id} exceeds the page size")
         return page + b"\x00" * (self.node_size - len(page))
 
-    def decode(self, page_id: int, data: bytes) -> BTreeNode:
+    def decode(
+        self, page_id: int, data: bytes, lazy: bool = False
+    ) -> BTreeNode:
+        # ``lazy`` is accepted for buffer-pool compatibility; B+-tree pages
+        # always decode eagerly.
         is_leaf_flag, count, prev_leaf, next_leaf = _HEADER.unpack_from(data)
         node = BTreeNode(page_id, bool(is_leaf_flag))
         node.prev_leaf = prev_leaf
@@ -155,6 +163,7 @@ class BTreeCodec:
             node.children = list(
                 struct.unpack_from(f"<{count + 1}q", data, offset)
             )
+        node.cached_bytes = data
         return node
 
 

@@ -599,7 +599,11 @@ class RTreeBase:
         cached = buffer._lru.get(page_id)
         if cached is not None:
             return cached
-        return buffer.codec.decode(page_id, buffer.disk.peek(page_id))
+        # Lazy decode: introspection walks (leaf counts, ring checks) often
+        # need only the header; entries thaw on first access.
+        return buffer.codec.decode(
+            page_id, buffer.disk.peek(page_id), lazy=True
+        )
 
     def iter_leaf_entries(self) -> Iterator[LeafEntry]:
         for node in self.iter_leaf_nodes():
@@ -609,7 +613,9 @@ class RTreeBase:
         return sum(1 for _ in self.iter_leaf_nodes())
 
     def num_leaf_entries(self) -> int:
-        return sum(len(node.entries) for node in self.iter_leaf_nodes())
+        # len(node) reads the header count on lazily-decoded leaves, so
+        # this never materialises any entry objects.
+        return sum(len(node) for node in self.iter_leaf_nodes())
 
     def leaf_mbr_sides(self) -> List[Tuple[float, float]]:
         """Width/height of every leaf MBR (input to the Lemma-2 estimator)."""

@@ -102,9 +102,19 @@ class Node:
     tree's in-memory parent directory (see DESIGN.md), which keeps leaf
     pages free of volatile back-pointers while still enabling the cleaner's
     bottom-up MBR adjustment.
+
+    ``cached_bytes`` holds the exact on-disk page image of the node's
+    current state when one is known (set by the codec on decode and by the
+    buffer pool after an encode).  Invariant: any mutation of the node must
+    clear it — :meth:`repro.storage.buffer.BufferPool.mark_dirty` does —
+    so a non-``None`` value can always be written back verbatim, skipping
+    a re-encode of never-dirtied pages.
     """
 
-    __slots__ = ("page_id", "is_leaf", "entries", "prev_leaf", "next_leaf")
+    __slots__ = (
+        "page_id", "is_leaf", "entries", "prev_leaf", "next_leaf",
+        "cached_bytes",
+    )
 
     def __init__(
         self,
@@ -119,6 +129,7 @@ class Node:
         self.entries: List[Entry] = entries if entries is not None else []
         self.prev_leaf = prev_leaf
         self.next_leaf = next_leaf
+        self.cached_bytes: Optional[bytes] = None
 
     def mbr(self) -> Rect:
         """The MBR covering all entries; raises on an empty node."""
@@ -145,6 +156,69 @@ class Node:
         return (
             f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"
         )
+
+
+class LazyNode(Node):
+    """A leaf node whose entries are decoded on first access.
+
+    The codec's lazy path parses only the 32-byte page header; the entry
+    region stays raw in ``_page_bytes`` until something touches
+    ``entries``.  Operations that never do — a query pruning the leaf via
+    its parent MBR never even reads it, but also recovery walks, ring
+    traversals, and entry-count checks (``len(node)``) — skip the full
+    Python-object materialisation entirely.
+
+    The raw source bytes are kept separately from ``cached_bytes``:
+    ``mark_dirty`` clears the latter, but a header-only mutation (the leaf
+    ring's prev/next pointers) leaves the entry region valid, so thawing
+    from ``_page_bytes`` stays sound.  Replacing ``entries`` wholesale goes
+    through the property setter, which detaches the raw bytes.
+    """
+
+    __slots__ = ("_entries", "_entry_count", "_codec", "_page_bytes")
+
+    def __init__(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        entry_count: int,
+        prev_leaf: int,
+        next_leaf: int,
+        codec,
+        page_bytes: bytes,
+    ):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.prev_leaf = prev_leaf
+        self.next_leaf = next_leaf
+        self.cached_bytes = page_bytes
+        self._entries: Optional[List[Entry]] = None
+        self._entry_count = entry_count
+        self._codec = codec
+        self._page_bytes = page_bytes
+
+    @property
+    def entries(self) -> List[Entry]:
+        entries = self._entries
+        if entries is None:
+            entries = self._entries = self._codec.decode_entries(
+                self.is_leaf, self._entry_count, self._page_bytes
+            )
+        return entries
+
+    @entries.setter
+    def entries(self, value: List[Entry]) -> None:
+        self._entries = value
+        self._page_bytes = None
+
+    @property
+    def materialized(self) -> bool:
+        """True once the entry list has been built (tests/introspection)."""
+        return self._entries is not None
+
+    def __len__(self) -> int:
+        entries = self._entries
+        return self._entry_count if entries is None else len(entries)
 
 
 def leaf_capacity(node_size: int, entry_bytes: int) -> int:

@@ -9,6 +9,12 @@ both for the ablation benchmarks and as a reference implementation.
 
 All functions are pure: they take a list of entries (anything with a
 ``.rect`` attribute) and return two lists.
+
+Splits happen on the insert hot path (every page overflow pays one), so the
+inner loops work on plain coordinate tuples and floats rather than
+:class:`~repro.rtree.geometry.Rect` objects: running prefix/suffix bounds
+are 4-tuples, margins/areas/overlaps are computed inline, and each sort
+order's goodness value is evaluated exactly once.
 """
 
 from __future__ import annotations
@@ -19,41 +25,62 @@ from .geometry import Rect
 
 E = TypeVar("E")  # any entry type exposing .rect
 
+#: Prefix/suffix running bounds of a sorted entry sequence, as coordinate
+#: tuples: ``prefix[k]`` covers ``entries[:k+1]``, ``suffix[k]`` covers
+#: ``entries[k:]``.  With them the margin/overlap/area of every candidate
+#: distribution is available in O(1), making the R* split linear after
+#: sorting.
+_Bounds = List[Tuple[float, float, float, float]]
 
-def _prefix_suffix_mbrs(
-    entries: Sequence[E],
-) -> Tuple[List[Rect], List[Rect]]:
-    """Running MBRs from the left and from the right.
 
-    ``prefix[k]`` covers ``entries[:k+1]`` and ``suffix[k]`` covers
-    ``entries[k:]``; with them the margin/overlap/area of every candidate
-    distribution of a sorted sequence is available in O(1), making the
-    whole R* split linear after sorting.
+def _split_tables(
+    sorted_entries: Sequence[E], min_entries: int
+) -> Tuple[_Bounds, _Bounds, float]:
+    """Prefix/suffix bounds plus the R* margin sum, in one pass each.
+
+    The margin sum (the R* "goodness value" used to pick the split axis)
+    adds the half-perimeters of both groups over all legal distributions.
     """
-    prefix: List[Rect] = []
-    running = None
-    for e in entries:
-        running = e.rect if running is None else running.union(e.rect)
-        prefix.append(running)
-    suffix: List[Rect] = [None] * len(entries)  # type: ignore[list-item]
-    running = None
-    for k in range(len(entries) - 1, -1, -1):
-        running = (
-            entries[k].rect if running is None
-            else running.union(entries[k].rect)
+    n = len(sorted_entries)
+    prefix: _Bounds = []
+    append = prefix.append
+    r = sorted_entries[0].rect
+    x1, y1, x2, y2 = r.xmin, r.ymin, r.xmax, r.ymax
+    append((x1, y1, x2, y2))
+    for k in range(1, n):
+        r = sorted_entries[k].rect
+        if r.xmin < x1:
+            x1 = r.xmin
+        if r.ymin < y1:
+            y1 = r.ymin
+        if r.xmax > x2:
+            x2 = r.xmax
+        if r.ymax > y2:
+            y2 = r.ymax
+        append((x1, y1, x2, y2))
+    suffix: _Bounds = [prefix[0]] * n
+    r = sorted_entries[n - 1].rect
+    x1, y1, x2, y2 = r.xmin, r.ymin, r.xmax, r.ymax
+    suffix[n - 1] = (x1, y1, x2, y2)
+    for k in range(n - 2, -1, -1):
+        r = sorted_entries[k].rect
+        if r.xmin < x1:
+            x1 = r.xmin
+        if r.ymin < y1:
+            y1 = r.ymin
+        if r.xmax > x2:
+            x2 = r.xmax
+        if r.ymax > y2:
+            y2 = r.ymax
+        suffix[k] = (x1, y1, x2, y2)
+    margin = 0.0
+    for k in range(min_entries, n - min_entries + 1):
+        a = prefix[k - 1]
+        b = suffix[k]
+        margin += (
+            (a[2] - a[0]) + (a[3] - a[1]) + (b[2] - b[0]) + (b[3] - b[1])
         )
-        suffix[k] = running
-    return prefix, suffix
-
-
-def _margin_sum(sorted_entries: Sequence[E], min_entries: int) -> float:
-    """Sum of the margins of both groups over all distributions (the R*
-    goodness value used to pick the split axis)."""
-    prefix, suffix = _prefix_suffix_mbrs(sorted_entries)
-    total = 0.0
-    for k in range(min_entries, len(sorted_entries) - min_entries + 1):
-        total += prefix[k - 1].margin() + suffix[k].margin()
-    return total
+    return prefix, suffix, margin
 
 
 def rstar_split(
@@ -67,36 +94,47 @@ def rstar_split(
     2. Along the chosen axis, pick the distribution with minimum overlap
        between the two group MBRs, breaking ties by minimum combined area.
     """
-    if len(entries) < 2 * min_entries:
+    n = len(entries)
+    if n < 2 * min_entries:
         raise ValueError(
-            f"cannot split {len(entries)} entries with minimum {min_entries}"
+            f"cannot split {n} entries with minimum {min_entries}"
         )
 
-    candidates: List[Sequence[E]] = []
-    for key_low, key_high in (
-        (lambda e: e.rect.xmin, lambda e: e.rect.xmax),
-        (lambda e: e.rect.ymin, lambda e: e.rect.ymax),
+    # Evaluate each sort order's margin sum exactly once; ties resolve in
+    # sort-order precedence (x before y, lower before upper coordinate),
+    # matching nested min() over (by_low, by_high) per axis then axes.
+    best = None
+    for key in (
+        lambda e: e.rect.xmin,
+        lambda e: e.rect.xmax,
+        lambda e: e.rect.ymin,
+        lambda e: e.rect.ymax,
     ):
-        by_low = sorted(entries, key=key_low)
-        by_high = sorted(entries, key=key_high)
-        candidates.append(
-            min((by_low, by_high), key=lambda s: _margin_sum(s, min_entries))
-        )
+        s = sorted(entries, key=key)
+        tables = _split_tables(s, min_entries)
+        if best is None or tables[2] < best[1][2]:
+            best = (s, tables)
+    axis_entries, (prefix, suffix, _) = best
 
-    axis_entries = min(candidates, key=lambda s: _margin_sum(s, min_entries))
-
-    prefix, suffix = _prefix_suffix_mbrs(axis_entries)
     best_k = min_entries
-    best_key = None
-    for k in range(min_entries, len(axis_entries) - min_entries + 1):
-        mbr_left = prefix[k - 1]
-        mbr_right = suffix[k]
-        key = (
-            mbr_left.overlap_area(mbr_right),
-            mbr_left.area() + mbr_right.area(),
-        )
-        if best_key is None or key < best_key:
-            best_key = key
+    best_overlap = best_area = None
+    for k in range(min_entries, n - min_entries + 1):
+        ax1, ay1, ax2, ay2 = prefix[k - 1]
+        bx1, by1, bx2, by2 = suffix[k]
+        overlap = 0.0
+        w = (ax2 if ax2 < bx2 else bx2) - (ax1 if ax1 > bx1 else bx1)
+        if w > 0.0:
+            h = (ay2 if ay2 < by2 else by2) - (ay1 if ay1 > by1 else by1)
+            if h > 0.0:
+                overlap = w * h
+        area = (ax2 - ax1) * (ay2 - ay1) + (bx2 - bx1) * (by2 - by1)
+        if (
+            best_overlap is None
+            or overlap < best_overlap
+            or (overlap == best_overlap and area < best_area)
+        ):
+            best_overlap = overlap
+            best_area = area
             best_k = k
     return list(axis_entries[:best_k]), list(axis_entries[best_k:])
 
@@ -109,60 +147,100 @@ def quadratic_split(
     Seeds are the pair wasting the most area if grouped together; remaining
     entries are assigned greedily by largest preference difference.
     """
-    if len(entries) < 2 * min_entries:
+    n = len(entries)
+    if n < 2 * min_entries:
         raise ValueError(
-            f"cannot split {len(entries)} entries with minimum {min_entries}"
+            f"cannot split {n} entries with minimum {min_entries}"
         )
     pool = list(entries)
+    coords = [
+        (r.xmin, r.ymin, r.xmax, r.ymax) for r in (e.rect for e in pool)
+    ]
+    areas = [(c[2] - c[0]) * (c[3] - c[1]) for c in coords]
 
-    # Pick seeds: the pair with maximal dead space.
+    # Pick seeds: the pair with maximal dead space (O(n^2) over floats).
     worst = -1.0
     seed_a = seed_b = 0
-    for i in range(len(pool)):
-        for j in range(i + 1, len(pool)):
+    for i in range(n):
+        ax1, ay1, ax2, ay2 = coords[i]
+        area_i = areas[i]
+        for j in range(i + 1, n):
+            bx1, by1, bx2, by2 = coords[j]
             waste = (
-                pool[i].rect.union(pool[j].rect).area()
-                - pool[i].rect.area()
-                - pool[j].rect.area()
+                ((ax2 if ax2 > bx2 else bx2) - (ax1 if ax1 < bx1 else bx1))
+                * ((ay2 if ay2 > by2 else by2) - (ay1 if ay1 < by1 else by1))
+                - area_i
+                - areas[j]
             )
             if waste > worst:
                 worst = waste
                 seed_a, seed_b = i, j
     left = [pool[seed_a]]
     right = [pool[seed_b]]
-    rest = [e for k, e in enumerate(pool) if k not in (seed_a, seed_b)]
-    mbr_left = left[0].rect
-    mbr_right = right[0].rect
+    rest = [
+        (e, *coords[k]) for k, e in enumerate(pool) if k not in (seed_a, seed_b)
+    ]
+    lx1, ly1, lx2, ly2 = coords[seed_a]
+    rx1, ry1, rx2, ry2 = coords[seed_b]
+    l_area = areas[seed_a]
+    r_area = areas[seed_b]
 
     while rest:
         # Honour the minimum-fill guarantee first.
         if len(left) + len(rest) == min_entries:
-            left.extend(rest)
+            left.extend(item[0] for item in rest)
             break
         if len(right) + len(rest) == min_entries:
-            right.extend(rest)
+            right.extend(item[0] for item in rest)
             break
         # Choose the entry with the strongest group preference.
         best_idx = 0
         best_diff = -1.0
-        for k, e in enumerate(rest):
-            d_left = mbr_left.enlargement(e.rect)
-            d_right = mbr_right.enlargement(e.rect)
-            diff = abs(d_left - d_right)
+        best_d_left = best_d_right = 0.0
+        for k, (_, ex1, ey1, ex2, ey2) in enumerate(rest):
+            d_left = (
+                ((lx2 if lx2 > ex2 else ex2) - (lx1 if lx1 < ex1 else ex1))
+                * ((ly2 if ly2 > ey2 else ey2) - (ly1 if ly1 < ey1 else ey1))
+                - l_area
+            )
+            d_right = (
+                ((rx2 if rx2 > ex2 else ex2) - (rx1 if rx1 < ex1 else ex1))
+                * ((ry2 if ry2 > ey2 else ey2) - (ry1 if ry1 < ey1 else ey1))
+                - r_area
+            )
+            diff = d_left - d_right
+            if diff < 0.0:
+                diff = -diff
             if diff > best_diff:
                 best_diff = diff
                 best_idx = k
-        e = rest.pop(best_idx)
-        d_left = mbr_left.enlargement(e.rect)
-        d_right = mbr_right.enlargement(e.rect)
-        if d_left < d_right or (
-            d_left == d_right and len(left) <= len(right)
+                best_d_left = d_left
+                best_d_right = d_right
+        e, ex1, ey1, ex2, ey2 = rest.pop(best_idx)
+        if best_d_left < best_d_right or (
+            best_d_left == best_d_right and len(left) <= len(right)
         ):
             left.append(e)
-            mbr_left = mbr_left.union(e.rect)
+            if ex1 < lx1:
+                lx1 = ex1
+            if ey1 < ly1:
+                ly1 = ey1
+            if ex2 > lx2:
+                lx2 = ex2
+            if ey2 > ly2:
+                ly2 = ey2
+            l_area = (lx2 - lx1) * (ly2 - ly1)
         else:
             right.append(e)
-            mbr_right = mbr_right.union(e.rect)
+            if ex1 < rx1:
+                rx1 = ex1
+            if ey1 < ry1:
+                ry1 = ey1
+            if ex2 > rx2:
+                rx2 = ex2
+            if ey2 > ry2:
+                ry2 = ey2
+            r_area = (rx2 - rx1) * (ry2 - ry1)
     return left, right
 
 
@@ -183,10 +261,17 @@ def choose_reinsert_entries(
     if not entries:
         raise ValueError("cannot reinsert from an empty node")
     node_mbr = Rect.union_all(e.rect for e in entries)
-    ranked = sorted(
-        entries,
-        key=lambda e: e.rect.center_distance(node_mbr),
-        reverse=True,
-    )
+    ncx = (node_mbr.xmin + node_mbr.xmax) * 0.5
+    ncy = (node_mbr.ymin + node_mbr.ymax) * 0.5
+
+    def center_dist_sq(e: E) -> float:
+        # Squared distance orders identically to math.hypot and skips the
+        # per-entry sqrt/function-call overhead.
+        r = e.rect
+        dx = (r.xmin + r.xmax) * 0.5 - ncx
+        dy = (r.ymin + r.ymax) * 0.5 - ncy
+        return dx * dx + dy * dy
+
+    ranked = sorted(entries, key=center_dist_sq, reverse=True)
     count = max(1, int(round(len(entries) * fraction)))
     return ranked[count:], ranked[:count]

@@ -112,10 +112,23 @@ class BufferPool:
         else:
             for page_id in self._dirty_leaves:
                 node = self._op_leaf_cache[page_id]
-                self.disk.write_page(page_id, self.codec.encode(node))
+                self.disk.write_page(page_id, self._page_bytes(node))
                 self.stats.record_write(is_leaf=True)
         self._dirty_leaves.clear()
         self._op_leaf_cache.clear()
+
+    def _page_bytes(self, node: "Node") -> bytes:
+        """The page image to write for ``node``.
+
+        Re-emits the cached clean image when the node was never dirtied
+        since its last encode/decode; ``mark_dirty`` clears the cache, so
+        a stale image can never reach the disk.
+        """
+        data = node.cached_bytes
+        if data is None:
+            data = self.codec.encode(node)
+            node.cached_bytes = data
+        return data
 
     # -- resident leaf LRU (buffer-size ablation) ----------------------------
 
@@ -133,7 +146,7 @@ class BufferPool:
         node = self._lru.pop(page_id)
         if page_id in self._lru_dirty:
             self._lru_dirty.discard(page_id)
-            self.disk.write_page(page_id, self.codec.encode(node))
+            self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
 
     def _lru_get(self, page_id: int) -> "Node":
@@ -162,7 +175,7 @@ class BufferPool:
                     self._dirty_leaves.add(page_id)
             return node
         data = self.disk.read_page(page_id)
-        node = self.codec.decode(page_id, data)
+        node = self.codec.decode(page_id, data, lazy=True)
         self.stats.record_read(is_leaf=node.is_leaf)
         if node.is_leaf:
             if self.in_operation:
@@ -174,7 +187,13 @@ class BufferPool:
         return node
 
     def mark_dirty(self, node: "Node") -> None:
-        """Record that ``node`` was modified and must reach disk."""
+        """Record that ``node`` was modified and must reach disk.
+
+        Also invalidates the node's cached page image: the in-memory state
+        has diverged from the bytes it was decoded from (or last encoded
+        to), so the next write must re-encode.
+        """
+        node.cached_bytes = None
         if node.is_leaf:
             if self.in_operation:
                 self._op_leaf_cache[node.page_id] = node
@@ -183,7 +202,7 @@ class BufferPool:
                 self._lru_insert(node.page_id, node, dirty=True)
             else:
                 self.disk.write_page(
-                    node.page_id, self.codec.encode(node)
+                    node.page_id, self._page_bytes(node)
                 )
                 self.stats.record_write(is_leaf=True)
         else:
@@ -230,12 +249,12 @@ class BufferPool:
         self._flush_op_cache()
         for page_id in sorted(self._lru_dirty):
             node = self._lru[page_id]
-            self.disk.write_page(page_id, self.codec.encode(node))
+            self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
         self._lru_dirty.clear()
         for page_id in sorted(self._dirty_internal):
             node = self._internal_cache[page_id]
-            self.disk.write_page(page_id, self.codec.encode(node))
+            self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=False)
         self._dirty_internal.clear()
 

@@ -26,14 +26,33 @@ Entries, densely packed after the header::
     classic leaf    (40 B): xmin ymin xmax ymax | oid/p_o (int64)
     RUM leaf        (56 B): xmin ymin xmax ymax | p_o | oid | stamp (int64 x3)
 
-Encoding and decoding use a single ``struct`` call per node, which keeps the
-simulator fast enough to replay hundreds of thousands of updates.
+Hot-path design
+---------------
+
+Encode and decode are the innermost loops of the whole simulator (every
+counted leaf I/O passes through them), so the codec avoids all per-call
+format-string construction and per-entry Python-call overhead:
+
+* **encode** is a single ``pack`` of one precompiled full-page
+  :class:`struct.Struct` (header + ``count`` entries + trailing padding),
+  cached per (page size, layout, count) in a module-level table — no
+  byte concatenation, no separate padding allocation, no ``pack_into``;
+* **decode** bulk-unpacks the entry region with one precompiled batch
+  Struct and materialises entries by grouping the flat value tuple with
+  the ``zip(it, it, ...)`` idiom, building ``Rect``/entry objects through
+  ``__new__`` + direct slot stores (skipping the ``__init__`` frames —
+  page images round-trip values that were validated when the rectangle
+  was first constructed);
+* the **lazy leaf path** (``decode(..., lazy=True)``) parses only the
+  32-byte header and returns a :class:`~repro.rtree.node.LazyNode` that
+  thaws its entries on first access, so header-only consumers (entry
+  counts, ring walks, recovery traversals) never materialise entries.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
@@ -42,18 +61,51 @@ from repro.rtree.node import (
     NODE_HEADER_BYTES,
     RUM_LEAF_ENTRY_BYTES,
     IndexEntry,
+    LazyNode,
     LeafEntry,
     Node,
     index_capacity,
     leaf_capacity,
 )
 
-_HEADER = struct.Struct("<BxHxxxxqq8x")
+_HEADER_FMT = "BxHxxxxqq8x"
+_HEADER = struct.Struct("<" + _HEADER_FMT)
 assert _HEADER.size == NODE_HEADER_BYTES
 
 _INDEX_FMT = "4dq"
 _CLASSIC_FMT = "4dq"
 _RUM_FMT = "4d3q"
+
+#: (entry format, count) -> precompiled batch unpack kernel.
+_BATCH_CACHE: Dict[Tuple[str, int], struct.Struct] = {}
+
+#: (page size, entry format, count) -> precompiled full-page pack kernel
+#: covering header, entries and trailing padding in one format.
+_PAGE_CACHE: Dict[Tuple[int, str, int], struct.Struct] = {}
+
+
+def _batch_struct(fmt: str, count: int) -> struct.Struct:
+    """The precompiled unpack kernel for ``count`` entries of layout ``fmt``."""
+    key = (fmt, count)
+    kernel = _BATCH_CACHE.get(key)
+    if kernel is None:
+        kernel = _BATCH_CACHE[key] = struct.Struct("<" + fmt * count)
+    return kernel
+
+
+def _page_struct(
+    node_size: int, fmt: str, entry_bytes: int, count: int
+) -> struct.Struct:
+    """The full-page pack kernel for ``count`` entries of layout ``fmt``."""
+    key = (node_size, fmt, count)
+    kernel = _PAGE_CACHE.get(key)
+    if kernel is None:
+        pad = node_size - NODE_HEADER_BYTES - count * entry_bytes
+        kernel = _PAGE_CACHE[key] = struct.Struct(
+            f"<{_HEADER_FMT}{fmt * count}{pad}x"
+        )
+        assert kernel.size == node_size
+    return kernel
 
 
 class PageOverflowError(RuntimeError):
@@ -82,54 +134,56 @@ class NodeCodec:
         )
         self.leaf_cap = leaf_capacity(node_size, self.leaf_entry_bytes)
         self.index_cap = index_capacity(node_size)
-        self._leaf_fmt = _RUM_FMT if rum_leaves else _CLASSIC_FMT
 
     # -- encoding ----------------------------------------------------------
 
     def encode(self, node: Node) -> bytes:
         """Serialise ``node`` into exactly ``node_size`` bytes."""
-        count = len(node.entries)
+        entries = node.entries
+        count = len(entries)
         cap = self.leaf_cap if node.is_leaf else self.index_cap
         if count > cap:
             raise PageOverflowError(
                 f"node {node.page_id}: {count} entries exceed capacity {cap}"
             )
-        header = _HEADER.pack(
-            1 if node.is_leaf else 0,
-            count,
-            node.prev_leaf,
-            node.next_leaf,
-        )
+        flat: List = [
+            1 if node.is_leaf else 0, count, node.prev_leaf, node.next_leaf
+        ]
         if node.is_leaf:
             if self.rum_leaves:
-                flat: List = []
-                for e in node.entries:
+                # p_o (the tuple pointer) is stored as the oid itself; a
+                # real system would store a record id here.
+                for e in entries:
                     r = e.rect
-                    # p_o (the tuple pointer) is stored as the oid itself; a
-                    # real system would store a record id here.
-                    flat.extend(
-                        (r.xmin, r.ymin, r.xmax, r.ymax, e.oid, e.oid, e.stamp)
+                    flat += (
+                        r.xmin, r.ymin, r.xmax, r.ymax,
+                        e.oid, e.oid, e.stamp,
                     )
-                body = struct.pack(f"<{_RUM_FMT * count}", *flat)
+                fmt, entry_bytes = _RUM_FMT, RUM_LEAF_ENTRY_BYTES
             else:
-                flat = []
-                for e in node.entries:
+                for e in entries:
                     r = e.rect
-                    flat.extend((r.xmin, r.ymin, r.xmax, r.ymax, e.oid))
-                body = struct.pack(f"<{_CLASSIC_FMT * count}", *flat)
+                    flat += (r.xmin, r.ymin, r.xmax, r.ymax, e.oid)
+                fmt, entry_bytes = _CLASSIC_FMT, CLASSIC_LEAF_ENTRY_BYTES
         else:
-            flat = []
-            for e in node.entries:
+            for e in entries:
                 r = e.rect
-                flat.extend((r.xmin, r.ymin, r.xmax, r.ymax, e.child_id))
-            body = struct.pack(f"<{_INDEX_FMT * count}", *flat)
-        page = header + body
-        return page + b"\x00" * (self.node_size - len(page))
+                flat += (r.xmin, r.ymin, r.xmax, r.ymax, e.child_id)
+            fmt, entry_bytes = _INDEX_FMT, INDEX_ENTRY_BYTES
+        return _page_struct(self.node_size, fmt, entry_bytes, count).pack(
+            *flat
+        )
 
     # -- decoding ----------------------------------------------------------
 
-    def decode(self, page_id: int, data: bytes) -> Node:
-        """Reconstruct the node stored in ``data`` (a full page)."""
+    def decode(self, page_id: int, data: bytes, lazy: bool = False) -> Node:
+        """Reconstruct the node stored in ``data`` (a full page).
+
+        With ``lazy=True`` a *leaf* page is parsed header-only and comes
+        back as a :class:`~repro.rtree.node.LazyNode` whose entries thaw on
+        first access; internal pages always decode eagerly (they live in
+        the pinned directory cache and are read constantly).
+        """
         if len(data) != self.node_size:
             raise ValueError(
                 f"page {page_id}: expected {self.node_size} bytes, "
@@ -137,51 +191,85 @@ class NodeCodec:
             )
         is_leaf_flag, count, prev_leaf, next_leaf = _HEADER.unpack_from(data)
         is_leaf = bool(is_leaf_flag)
-        entries: List = []
-        offset = NODE_HEADER_BYTES
-        if is_leaf:
-            if self.rum_leaves:
-                values = struct.unpack_from(f"<{_RUM_FMT * count}", data, offset)
-                for i in range(count):
-                    base = i * 7
-                    rect = Rect(
-                        values[base],
-                        values[base + 1],
-                        values[base + 2],
-                        values[base + 3],
-                    )
-                    # values[base + 4] is p_o, redundant with the oid here.
-                    entries.append(
-                        LeafEntry(rect, values[base + 5], values[base + 6])
-                    )
-            else:
-                values = struct.unpack_from(
-                    f"<{_CLASSIC_FMT * count}", data, offset
-                )
-                for i in range(count):
-                    base = i * 5
-                    rect = Rect(
-                        values[base],
-                        values[base + 1],
-                        values[base + 2],
-                        values[base + 3],
-                    )
-                    entries.append(LeafEntry(rect, values[base + 4]))
-        else:
-            values = struct.unpack_from(f"<{_INDEX_FMT * count}", data, offset)
-            for i in range(count):
-                base = i * 5
-                rect = Rect(
-                    values[base],
-                    values[base + 1],
-                    values[base + 2],
-                    values[base + 3],
-                )
-                entries.append(IndexEntry(rect, values[base + 4]))
-        return Node(
+        if lazy and is_leaf:
+            return LazyNode(
+                page_id, is_leaf, count, prev_leaf, next_leaf, self, data
+            )
+        node = Node(
             page_id,
             is_leaf,
-            entries,
+            self.decode_entries(is_leaf, count, data),
             prev_leaf=prev_leaf,
             next_leaf=next_leaf,
         )
+        node.cached_bytes = data
+        return node
+
+    def decode_entries(self, is_leaf: bool, count: int, data: bytes) -> List:
+        """Materialise the entry list of a page in one pass.
+
+        Shared by the eager decode and the lazy thaw, so both paths build
+        identical entries.  Entry objects are constructed via ``__new__``
+        plus direct slot stores: the values come from a page image the
+        codec itself produced, so re-validating every rectangle would only
+        re-check invariants enforced at original construction time.
+        """
+        if not count:
+            return []
+        out: List = []
+        append = out.append
+        if is_leaf:
+            new_rect = Rect.__new__
+            new_entry = LeafEntry.__new__
+            if self.rum_leaves:
+                values = _batch_struct(_RUM_FMT, count).unpack_from(
+                    data, NODE_HEADER_BYTES
+                )
+                it = iter(values)
+                for x1, y1, x2, y2, _p_o, oid, stamp in zip(
+                    it, it, it, it, it, it, it
+                ):
+                    r = new_rect(Rect)
+                    r.xmin = x1
+                    r.ymin = y1
+                    r.xmax = x2
+                    r.ymax = y2
+                    e = new_entry(LeafEntry)
+                    e.rect = r
+                    e.oid = oid
+                    e.stamp = stamp
+                    append(e)
+            else:
+                values = _batch_struct(_CLASSIC_FMT, count).unpack_from(
+                    data, NODE_HEADER_BYTES
+                )
+                it = iter(values)
+                for x1, y1, x2, y2, oid in zip(it, it, it, it, it):
+                    r = new_rect(Rect)
+                    r.xmin = x1
+                    r.ymin = y1
+                    r.xmax = x2
+                    r.ymax = y2
+                    e = new_entry(LeafEntry)
+                    e.rect = r
+                    e.oid = oid
+                    e.stamp = 0
+                    append(e)
+        else:
+            new_rect = Rect.__new__
+            new_entry = IndexEntry.__new__
+            values = _batch_struct(_INDEX_FMT, count).unpack_from(
+                data, NODE_HEADER_BYTES
+            )
+            it = iter(values)
+            for x1, y1, x2, y2, child_id in zip(it, it, it, it, it):
+                r = new_rect(Rect)
+                r.xmin = x1
+                r.ymin = y1
+                r.xmax = x2
+                r.ymax = y2
+                e = new_entry(IndexEntry)
+                e.rect = r
+                e.child_id = child_id
+                append(e)
+        return out

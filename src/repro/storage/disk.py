@@ -14,6 +14,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
+#: Shared all-zero page images, one per page size.  Allocation is on the
+#: update hot path (every split allocates), so freshly allocated pages
+#: reuse one immutable zero page instead of building a new one each time.
+_ZERO_PAGES: Dict[int, bytes] = {}
+
+
+def zero_page(page_size: int) -> bytes:
+    """An immutable all-zero page of ``page_size`` bytes (cached)."""
+    page = _ZERO_PAGES.get(page_size)
+    if page is None:
+        page = _ZERO_PAGES[page_size] = b"\x00" * page_size
+    return page
+
 
 class PageNotAllocatedError(KeyError):
     """Raised when reading or writing a page id that was never allocated."""
@@ -47,7 +60,7 @@ class DiskManager:
         else:
             page_id = self._next_id
             self._next_id += 1
-        self._pages[page_id] = b"\x00" * self.page_size
+        self._pages[page_id] = zero_page(self.page_size)
         return page_id
 
     def free(self, page_id: int) -> None:
@@ -84,6 +97,8 @@ class DiskManager:
                 f"page {page_id}: write of {len(data)} bytes to a "
                 f"{self.page_size}-byte page"
             )
+        # bytes(bytes_obj) is a no-op reference; only mutable buffers
+        # (bytearray/memoryview) are actually copied here.
         self._pages[page_id] = bytes(data)
         self.writes += 1
 

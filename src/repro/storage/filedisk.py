@@ -19,7 +19,7 @@ import os
 import pathlib
 from typing import Iterator, List, Set, Union
 
-from .disk import PageNotAllocatedError
+from .disk import PageNotAllocatedError, zero_page
 
 PAGES_FILE = "pages.bin"
 META_FILE = "disk.json"
@@ -84,7 +84,7 @@ class FileDiskManager:
             page_id = self._next_id
             self._next_id += 1
         self._allocated.add(page_id)
-        self._write_raw(page_id, b"\x00" * self.page_size)
+        self._write_raw(page_id, zero_page(self.page_size))
         return page_id
 
     def free(self, page_id: int) -> None:

@@ -1,0 +1,311 @@
+"""Tests for the hot-path storage optimisations.
+
+Covers the precompiled codec kernels (round-trips at exact capacity and at
+count 0 for all three entry layouts), the lazy leaf decode path, the
+clean-page byte cache of the buffer pool, the resident-LRU corner cases,
+and the ``REPRO_BENCH_SCALE`` parsing warning.
+"""
+
+import warnings
+
+import pytest
+
+from repro.experiments import harness
+from repro.rtree.geometry import Rect
+from repro.rtree.node import IndexEntry, LazyNode, LeafEntry, Node
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import NodeCodec
+from repro.storage.disk import DiskManager
+from repro.storage.iostats import IOStats
+
+
+def _leaf_entries(count, stamped=True):
+    return [
+        LeafEntry(
+            Rect(0.01 * (i % 7), 0.01 * (i % 5), 0.5 + 0.001 * i, 0.9),
+            oid=i,
+            stamp=3 * i if stamped else 0,
+        )
+        for i in range(count)
+    ]
+
+
+def _index_entries(count):
+    return [
+        IndexEntry(Rect(0.0, 0.0, 0.001 * (i + 1), 0.002 * (i + 1)), i + 1)
+        for i in range(count)
+    ]
+
+
+class TestCodecKernels:
+    """Round-trips through the precompiled pack/unpack kernels."""
+
+    @pytest.mark.parametrize("rum_leaves", [False, True])
+    @pytest.mark.parametrize("node_size", [512, 1024, 4096])
+    def test_leaf_roundtrip_at_exact_capacity(self, node_size, rum_leaves):
+        codec = NodeCodec(node_size, rum_leaves=rum_leaves)
+        entries = _leaf_entries(codec.leaf_cap, stamped=rum_leaves)
+        node = Node(3, True, entries, prev_leaf=1, next_leaf=8)
+        page = codec.encode(node)
+        assert len(page) == node_size
+        back = codec.decode(3, page)
+        assert back.entries == entries
+        assert (back.prev_leaf, back.next_leaf) == (1, 8)
+
+    @pytest.mark.parametrize("node_size", [512, 1024, 4096])
+    def test_index_roundtrip_at_exact_capacity(self, node_size):
+        codec = NodeCodec(node_size)
+        entries = _index_entries(codec.index_cap)
+        node = Node(4, False, entries)
+        back = codec.decode(4, codec.encode(node))
+        assert not back.is_leaf
+        assert back.entries == entries
+
+    @pytest.mark.parametrize("rum_leaves", [False, True])
+    def test_empty_nodes_all_layouts(self, rum_leaves):
+        codec = NodeCodec(512, rum_leaves=rum_leaves)
+        for is_leaf in (True, False):
+            node = Node(9, is_leaf, [], prev_leaf=2, next_leaf=6)
+            back = codec.decode(9, codec.encode(node))
+            assert back.entries == []
+            assert back.is_leaf == is_leaf
+            if is_leaf:
+                assert (back.prev_leaf, back.next_leaf) == (2, 6)
+
+
+class TestLazyDecode:
+    """decode(lazy=True) must be behaviour-transparent."""
+
+    @pytest.mark.parametrize("rum_leaves", [False, True])
+    def test_lazy_equals_eager(self, rum_leaves):
+        codec = NodeCodec(1024, rum_leaves=rum_leaves)
+        entries = _leaf_entries(codec.leaf_cap, stamped=rum_leaves)
+        page = codec.encode(Node(5, True, entries, prev_leaf=3, next_leaf=7))
+        eager = codec.decode(5, page, lazy=False)
+        lazy = codec.decode(5, page, lazy=True)
+        assert isinstance(lazy, LazyNode)
+        assert not lazy.materialized
+        assert len(lazy) == len(eager) == len(entries)
+        assert not lazy.materialized  # len() reads the header count
+        assert lazy.entries == eager.entries == entries
+        assert lazy.materialized
+
+    def test_lazy_reencodes_byte_identical(self):
+        codec = NodeCodec(1024, rum_leaves=True)
+        page = codec.encode(Node(5, True, _leaf_entries(10)))
+        lazy = codec.decode(5, page, lazy=True)
+        assert lazy.cached_bytes == page  # clean page: image reusable
+        lazy.cached_bytes = None
+        assert codec.encode(lazy) == page
+        eager = codec.decode(5, page, lazy=False)
+        eager.cached_bytes = None
+        assert codec.encode(eager) == page
+
+    def test_internal_pages_decode_eagerly(self):
+        codec = NodeCodec(512)
+        page = codec.encode(Node(2, False, _index_entries(4)))
+        node = codec.decode(2, page, lazy=True)
+        assert not isinstance(node, LazyNode)
+        assert node.entries == _index_entries(4)
+
+    def test_header_mutation_keeps_entries_thawable(self):
+        # Ring-pointer updates dirty only the header; a still-frozen lazy
+        # node must thaw the original entries afterwards.
+        codec = NodeCodec(1024, rum_leaves=True)
+        entries = _leaf_entries(6)
+        page = codec.encode(Node(5, True, entries, prev_leaf=3, next_leaf=7))
+        lazy = codec.decode(5, page, lazy=True)
+        lazy.next_leaf = 42
+        lazy.cached_bytes = None  # what mark_dirty does
+        assert lazy.entries == entries
+        back = codec.decode(5, codec.encode(lazy))
+        assert back.next_leaf == 42
+        assert back.entries == entries
+
+    def test_entry_replacement_detaches_page_image(self):
+        codec = NodeCodec(1024, rum_leaves=True)
+        page = codec.encode(Node(5, True, _leaf_entries(6)))
+        lazy = codec.decode(5, page, lazy=True)
+        lazy.entries = _leaf_entries(2)
+        assert lazy.materialized
+        assert len(lazy) == 2
+        lazy.cached_bytes = None
+        assert codec.decode(5, codec.encode(lazy)).entries == _leaf_entries(2)
+
+
+def _stack(leaf_cache_pages=0):
+    stats = IOStats()
+    disk = DiskManager(512)
+    codec = NodeCodec(512, rum_leaves=True)
+    return BufferPool(disk, codec, stats, leaf_cache_pages=leaf_cache_pages), stats
+
+
+class TestCleanPageByteCache:
+    """Never-dirtied pages are written back from their cached image."""
+
+    def test_clean_page_reemits_original_bytes(self, monkeypatch):
+        buffer, stats = _stack(leaf_cache_pages=1)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            node.entries.extend(_leaf_entries(4))
+            buffer.mark_dirty(node)
+        buffer.flush()
+        original = buffer.disk.peek(node.page_id)
+        buffer.drop_volatile()
+        # Re-read the page; it stays clean, so an eviction-time write
+        # must reuse the image without calling the codec.
+        with buffer.operation():
+            reread = buffer.get_node(node.page_id)
+            assert reread.cached_bytes == original
+        monkeypatch.setattr(
+            buffer.codec,
+            "encode",
+            lambda *_: pytest.fail("clean page was re-encoded"),
+        )
+        assert buffer._page_bytes(reread) == original
+
+    def test_mark_dirty_invalidates_cached_bytes(self):
+        buffer, stats = _stack()
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            node.entries.extend(_leaf_entries(2))
+            buffer.mark_dirty(node)
+        with buffer.operation():
+            node = buffer.get_node(node.page_id)
+            node.entries  # materialise before mutating
+            assert node.cached_bytes is not None
+            node.entries.append(_leaf_entries(3)[-1])
+            buffer.mark_dirty(node)
+            assert node.cached_bytes is None
+        back = buffer.get_node(node.page_id)
+        assert len(back) == 3  # mutated state reached the disk
+
+
+class TestResidentLRUCorners:
+    def test_dirty_bit_carried_lru_to_op_cache(self):
+        buffer, stats = _stack(leaf_cache_pages=4)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            buffer.mark_dirty(node)
+        pid = node.page_id
+        assert pid in buffer._lru_dirty
+        with buffer.operation():
+            buffer.get_node(pid)
+            # The pending write travels with the page into the op cache...
+            assert pid in buffer._dirty_leaves
+            assert pid not in buffer._lru_dirty
+        # ...and back into the LRU at operation end, still unwritten.
+        assert pid in buffer._lru_dirty
+        assert stats.leaf_writes == 0
+        buffer.flush()
+        assert stats.leaf_writes == 1
+
+    def test_eviction_order_after_recency_refresh(self):
+        buffer, stats = _stack(leaf_cache_pages=2)
+        with buffer.operation():
+            a = buffer.new_node(is_leaf=True)
+        with buffer.operation():
+            b = buffer.new_node(is_leaf=True)
+        with buffer.operation():
+            buffer.get_node(a.page_id)  # refresh A: B becomes the LRU
+        with buffer.operation():
+            buffer.new_node(is_leaf=True)  # evicts B, not A
+        stats.reset()
+        with buffer.operation():
+            buffer.get_node(a.page_id)
+        assert stats.leaf_reads == 0  # A stayed resident
+        with buffer.operation():
+            buffer.get_node(b.page_id)
+        assert stats.leaf_reads == 1  # B was the eviction victim
+
+    def test_free_dirty_lru_page_never_writes(self):
+        buffer, stats = _stack(leaf_cache_pages=4)
+        with buffer.operation():
+            node = buffer.new_node(is_leaf=True)
+            node.entries.extend(_leaf_entries(2))
+            buffer.mark_dirty(node)
+        assert node.page_id in buffer._lru_dirty
+        buffer.free_node(node)
+        assert node.page_id not in buffer._lru
+        assert node.page_id not in buffer._lru_dirty
+        buffer.flush()
+        assert stats.leaf_writes == 0
+        assert not buffer.disk.is_allocated(node.page_id)
+
+
+class TestBenchCompare:
+    def _load_script(self):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).parent.parent
+            / "scripts"
+            / "bench_compare.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_compare", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _report(self, **ops):
+        return {
+            "schema": "bench_micro/v1",
+            "scale": 1.0,
+            "node_size": 8192,
+            "metrics": {
+                name: {"ops_per_sec": v, "iterations": 100}
+                for name, v in ops.items()
+            },
+        }
+
+    def test_flags_regressions_beyond_threshold(self, capsys):
+        mod = self._load_script()
+        base = self._report(a=1000.0, b=1000.0, c=1000.0)
+        cur = self._report(a=1050.0, b=850.0, c=995.0)
+        assert mod.compare(base, cur, threshold=0.10) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "b" in out
+
+    def test_new_and_removed_metrics_never_fail(self, capsys):
+        mod = self._load_script()
+        base = self._report(a=1000.0, gone=500.0)
+        cur = self._report(a=1000.0, fresh=700.0)
+        assert mod.compare(base, cur, threshold=0.10) == 0
+        out = capsys.readouterr().out
+        assert "NEW" in out and "REMOVED" in out
+
+    def test_end_to_end_exit_codes(self, tmp_path):
+        mod = self._load_script()
+        import json
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(self._report(a=1000.0)))
+        cur.write_text(json.dumps(self._report(a=999.0)))
+        assert mod.main([str(base), str(cur)]) == 0
+        cur.write_text(json.dumps(self._report(a=500.0)))
+        assert mod.main([str(base), str(cur)]) == 1
+
+
+class TestBenchScaleParsing:
+    def test_valid_scale_no_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert harness.bench_scale() == 0.25
+
+    def test_malformed_scale_warns_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2x-typo")
+        monkeypatch.setattr(harness, "_warned_bench_scales", set())
+        with pytest.warns(RuntimeWarning, match="2x-typo"):
+            assert harness.bench_scale() == 1.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call stays silent
+            assert harness.bench_scale() == 1.0
+
+    def test_scaled_falls_back_on_malformed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "half")
+        monkeypatch.setattr(harness, "_warned_bench_scales", set())
+        with pytest.warns(RuntimeWarning):
+            assert harness.scaled(1000) == 1000
