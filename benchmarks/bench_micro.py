@@ -39,6 +39,7 @@ if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
 from repro.core.memo import UpdateMemo
+from repro.obs import Observability
 from repro.experiments.harness import (
     bench_scale,
     load_tree,
@@ -188,13 +189,13 @@ def bench_memo(metrics: Dict, iters: int) -> None:
     }
 
 
-def bench_end_to_end(metrics: Dict) -> None:
+def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:
     n = scaled(2000)
     workload = default_network_workload(n, moving_distance=0.01, seed=11)
-    tree = make_tree("rum_touch", node_size=2048)
+    tree = make_tree("rum_touch", node_size=2048, obs=obs)
     load_tree(tree, workload.initial())
     updates = measure_updates(tree, workload, n)
-    metrics["end_to_end.update"] = {
+    metrics[f"end_to_end.update{suffix}"] = {
         "ops_per_sec": (
             updates.updates / updates.cpu_seconds
             if updates.cpu_seconds > 0 else float("inf")
@@ -205,13 +206,30 @@ def bench_end_to_end(metrics: Dict) -> None:
     queries = measure_queries(
         tree, RangeQueryGenerator(seed=2), n_queries
     )
-    metrics["end_to_end.query"] = {
+    metrics[f"end_to_end.query{suffix}"] = {
         "ops_per_sec": (
             queries.queries / queries.cpu_seconds
             if queries.cpu_seconds > 0 else float("inf")
         ),
         "iterations": queries.queries,
     }
+
+
+def obs_overhead_pct(metrics: Dict) -> Dict[str, float]:
+    """Relative slowdown of the obs-off run vs the plain run, per op.
+
+    Both runs execute the exact same workload in the same process; the
+    only difference is that the ``_obs_off`` tree had a level-``off``
+    :class:`Observability` attached, so the numbers isolate the cost of
+    the disabled instrumentation path (one attribute load + ``None``
+    check per guarded site).  The ISSUE's acceptance bar is <2%.
+    """
+    overhead = {}
+    for op in ("update", "query"):
+        base = metrics[f"end_to_end.{op}"]["ops_per_sec"]
+        off = metrics[f"end_to_end.{op}_obs_off"]["ops_per_sec"]
+        overhead[op] = (base / off - 1.0) * 100.0 if off > 0 else 0.0
+    return overhead
 
 
 def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
@@ -221,16 +239,35 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
     bench_codec(metrics, iters)
     bench_buffer(metrics, max(10, iters // 10))
     bench_memo(metrics, iters)
-    bench_end_to_end(metrics)
+    # Two alternating plain/obs-off passes, keeping the faster run of each
+    # metric: the overhead comparison is an A/B between nearly identical
+    # code paths, so best-of-two filters out scheduler noise that would
+    # otherwise dwarf the sub-percent effect being measured.
+    e2e: Dict = {}
+    for _ in range(2):
+        for suffix, obs in (("", None), ("_obs_off", Observability.disabled())):
+            fresh: Dict = {}
+            bench_end_to_end(fresh, suffix=suffix, obs=obs)
+            for name, m in fresh.items():
+                if (
+                    name not in e2e
+                    or m["ops_per_sec"] > e2e[name]["ops_per_sec"]
+                ):
+                    e2e[name] = m
+    metrics.update(e2e)
+    overhead = obs_overhead_pct(metrics)
     report = {
         "schema": SCHEMA,
         "scale": scale,
         "node_size": NODE_SIZE,
         "metrics": metrics,
+        "obs_disabled_overhead_pct": overhead,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     for name in sorted(metrics):
         print(f"{name:32s} {metrics[name]['ops_per_sec']:12.1f} ops/s")
+    for op, pct in sorted(overhead.items()):
+        print(f"obs disabled overhead ({op}): {pct:+.2f}%")
     print(f"wrote {output}")
     return report
 

@@ -4,13 +4,30 @@
 Usage::
 
     python scripts/bench_compare.py baseline.json current.json \
-        [--threshold 0.10]
+        [--threshold 0.10] [--json report.json]
 
 Prints one line per metric with the throughput ratio.  A metric regresses
 when its current ops/sec falls more than ``threshold`` (default 10%)
 below the baseline; any regression makes the script exit non-zero so CI
 can gate on it.  Metrics present in only one file are reported but never
 fail the comparison (the suite is allowed to grow).
+
+``--json PATH`` additionally writes a machine-readable report::
+
+    {
+      "schema": "bench_compare/v1",
+      "threshold": 0.10,
+      "baseline_scale": 1.0,
+      "current_scale": 1.0,
+      "regressions": 0,
+      "metrics": {
+        "<name>": {"status": "ok" | "improved" | "regressed" | "new"
+                             | "removed",
+                   "baseline_ops_per_sec": ..., "current_ops_per_sec": ...,
+                   "delta_pct": ...},
+        ...
+      }
+    }
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ import pathlib
 import sys
 
 SCHEMA = "bench_micro/v1"
+COMPARE_SCHEMA = "bench_compare/v1"
 
 
 def load_report(path: pathlib.Path) -> dict:
@@ -36,7 +54,8 @@ def load_report(path: pathlib.Path) -> dict:
     return report
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> int:
+def compare(baseline: dict, current: dict, threshold: float) -> dict:
+    """Per-metric comparison; returns the ``bench_compare/v1`` report."""
     base_metrics = baseline["metrics"]
     cur_metrics = current["metrics"]
     if baseline.get("scale") != current.get("scale"):
@@ -45,29 +64,56 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
             f"({baseline.get('scale')} vs {current.get('scale')})"
         )
     regressions = 0
+    per_metric = {}
     for name in sorted(set(base_metrics) | set(cur_metrics)):
         base = base_metrics.get(name)
         cur = cur_metrics.get(name)
         if base is None:
             print(f"  NEW      {name:32s} {cur['ops_per_sec']:12.1f} ops/s")
+            per_metric[name] = {
+                "status": "new",
+                "baseline_ops_per_sec": None,
+                "current_ops_per_sec": cur["ops_per_sec"],
+                "delta_pct": None,
+            }
             continue
         if cur is None:
             print(f"  REMOVED  {name:32s} {base['ops_per_sec']:12.1f} ops/s")
+            per_metric[name] = {
+                "status": "removed",
+                "baseline_ops_per_sec": base["ops_per_sec"],
+                "current_ops_per_sec": None,
+                "delta_pct": None,
+            }
             continue
         b = base["ops_per_sec"]
         c = cur["ops_per_sec"]
         delta = (c / b - 1.0) if b > 0 else 0.0
         status = "ok"
         if delta < -threshold:
-            status = "REGRESSED"
+            status = "regressed"
             regressions += 1
         elif delta > threshold:
             status = "improved"
+        shown = "REGRESSED" if status == "regressed" else status
         print(
-            f"  {status:10s}{name:32s} {b:12.1f} -> {c:12.1f} ops/s "
+            f"  {shown:10s}{name:32s} {b:12.1f} -> {c:12.1f} ops/s "
             f"({delta * 100:+6.1f}%)"
         )
-    return regressions
+        per_metric[name] = {
+            "status": status,
+            "baseline_ops_per_sec": b,
+            "current_ops_per_sec": c,
+            "delta_pct": delta * 100.0,
+        }
+    return {
+        "schema": COMPARE_SCHEMA,
+        "threshold": threshold,
+        "baseline_scale": baseline.get("scale"),
+        "current_scale": current.get("scale"),
+        "regressions": regressions,
+        "metrics": per_metric,
+    }
 
 
 def main(argv=None) -> int:
@@ -81,16 +127,29 @@ def main(argv=None) -> int:
         help="fractional slowdown tolerated before a metric is flagged "
         "(default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write the comparison as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
-    regressions = compare(
+    report = compare(
         load_report(args.baseline), load_report(args.current), args.threshold
     )
-    if regressions:
-        print(f"{regressions} metric(s) regressed beyond "
-              f"{args.threshold * 100:.0f}%")
-        return 1
-    print("no regressions")
-    return 0
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    regressions = report["regressions"]
+    print(
+        f"summary: {regressions} regression(s) beyond "
+        f"{args.threshold * 100:.0f}% across {len(report['metrics'])} "
+        f"metric(s)"
+    )
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

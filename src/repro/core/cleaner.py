@@ -30,9 +30,12 @@ additional safety margin.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, List, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
     from .rum import RUMTree
 
 
@@ -46,6 +49,7 @@ class CleaningToken:
         "steps_in_cycle",
         "min_cycle_steps",
         "tainted",
+        "cycle_started_at",
     )
 
     def __init__(self, position: int, min_cycle_steps: int = 1):
@@ -65,6 +69,10 @@ class CleaningToken:
         #: of steps and fire phantom inspection unsoundly.
         self.steps_in_cycle = 0
         self.min_cycle_steps = max(1, min_cycle_steps)
+        #: Wall-clock start of the current ring cycle (telemetry only;
+        #: wall time is the meaningful unit because token steps are
+        #: interleaved with the update stream that drives them).
+        self.cycle_started_at = time.perf_counter()
 
 
 class GarbageCleaner:
@@ -118,6 +126,37 @@ class GarbageCleaner:
         self.entries_removed = 0
         self.phantoms_purged = 0
         self.cycles_completed = 0
+        self._obs = None
+        self._obs_steps = None
+        self._obs_removed = None
+        self._obs_cycles = None
+        self._obs_cycle_ms = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry: token steps, entries cleaned, cycle counts and
+        wall-clock cycle durations; per-step events at the ``debug``
+        level and one ``cleaner.cycle`` event per completed ring pass."""
+        if obs is None or not obs.enabled:
+            self._obs = None
+            self._obs_steps = self._obs_removed = None
+            self._obs_cycles = self._obs_cycle_ms = None
+            return
+        self._obs = obs
+        if obs.metrics_on:
+            reg = obs.registry
+            self._obs_steps = reg.counter("cleaner.token_steps")
+            self._obs_removed = reg.counter("cleaner.entries_removed")
+            self._obs_cycles = reg.counter("cleaner.cycles")
+            self._obs_cycle_ms = reg.histogram(
+                "cleaner.cycle_ms",
+                (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0),
+            )
+            reg.gauge("cleaner.tokens").set_function(
+                lambda: len(self.tokens)
+            )
+            reg.gauge("cleaner.updates_seen").set_function(
+                lambda: self.updates_seen
+            )
 
     # ------------------------------------------------------------------
 
@@ -183,6 +222,17 @@ class GarbageCleaner:
             removed = tree.clean_leaf(leaf)
             self.leaves_inspected += 1
             self.entries_removed += removed
+            if self._obs_steps is not None:
+                self._obs_steps.inc()
+                if removed:
+                    self._obs_removed.inc(removed)
+            if self._obs is not None and self._obs.debug:
+                self._obs.event(
+                    "cleaner.step",
+                    page=leaf.page_id,
+                    removed=removed,
+                    step=token.steps_in_cycle,
+                )
             if removed:
                 if (
                     len(leaf.entries) < tree.min_leaf
@@ -203,10 +253,27 @@ class GarbageCleaner:
         ):
             return
         self.cycles_completed += 1
+        cycle_steps = token.steps_in_cycle
         token.steps_in_cycle = 0
         token.min_cycle_steps = max(1, self.tree.num_leaf_nodes())
         tainted = token.tainted
         token.tainted = False
+        if self._obs is not None:
+            now = time.perf_counter()
+            cycle_ms = (now - token.cycle_started_at) * 1000.0
+            token.cycle_started_at = now
+            if self._obs_cycles is not None:
+                self._obs_cycles.inc()
+                self._obs_cycle_ms.observe(cycle_ms)
+            self._obs.event(
+                "cleaner.cycle",
+                token=self.tokens.index(token),
+                steps=cycle_steps,
+                dur_ms=cycle_ms,
+                tainted=tainted,
+                entries_removed_total=self.entries_removed,
+                memo_entries=len(self.tree.memo),
+            )
         if not self.phantom_inspection or token is not self._marker_token():
             return
         if tainted:
@@ -220,9 +287,15 @@ class GarbageCleaner:
         if len(token.pending_markers) > self.phantom_lag_cycles:
             marker = token.pending_markers.pop(0)
             shielded = self._purge_shield_current | self._purge_shield_previous
-            self.phantoms_purged += self.tree.memo.purge_phantoms(
-                marker, exclude=shielded
-            )
+            purged = self.tree.memo.purge_phantoms(marker, exclude=shielded)
+            self.phantoms_purged += purged
+            if self._obs is not None and purged:
+                self._obs.event(
+                    "cleaner.phantom_purge",
+                    marker=marker,
+                    purged=purged,
+                    shielded=len(shielded),
+                )
         # Entries relocated during the completed cycle get swept by the
         # next one; rotating the shields retires them after that.
         self._purge_shield_previous = self._purge_shield_current

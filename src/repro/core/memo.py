@@ -21,9 +21,12 @@ lock individual hash buckets.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.storage.wal import UM_ENTRY_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: CheckStatus results (Figure 6).
 LATEST = "LATEST"
@@ -59,6 +62,29 @@ class UpdateMemo:
         ]
         #: Per-bucket locks for the concurrency experiment (Section 3.5).
         self.bucket_locks = [threading.Lock() for _ in range(n_buckets)]
+        self._obs_purge_runs = None
+        self._obs_purged = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry.
+
+        Memo *size* (entries, bytes, aggregate ``N_old``) is exposed as
+        callback gauges sampled at snapshot time, and phantom purges —
+        which run once per cleaning cycle — get counters.  The per-update
+        operations (``record_update``/``check_status``/``note_cleaned``)
+        are deliberately left uninstrumented: they run millions of times
+        per second and even a ``None`` check there would show up in the
+        memo micro-benchmark.
+        """
+        if obs is None or not obs.metrics_on:
+            self._obs_purge_runs = self._obs_purged = None
+            return
+        reg = obs.registry
+        self._obs_purge_runs = reg.counter("memo.purge_runs")
+        self._obs_purged = reg.counter("memo.purged_entries")
+        reg.gauge("memo.entries").set_function(self.__len__)
+        reg.gauge("memo.bytes").set_function(self.size_bytes)
+        reg.gauge("memo.total_n_old").set_function(self.total_n_old)
 
     def _bucket(self, oid: int) -> Dict[int, UMEntry]:
         return self._buckets[oid % self.n_buckets]
@@ -139,6 +165,9 @@ class UpdateMemo:
             for oid in victims:
                 del bucket[oid]
             purged += len(victims)
+        if self._obs_purge_runs is not None:
+            self._obs_purge_runs.inc()
+            self._obs_purged.inc(purged)
         return purged
 
     # ------------------------------------------------------------------

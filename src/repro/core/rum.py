@@ -19,7 +19,10 @@ here; the recovery procedures themselves live in
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 from repro.storage.buffer import BufferPool
 from repro.storage.wal import WriteAheadLog
@@ -121,19 +124,44 @@ class RUMTree(RTreeBase):
         )
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Extend the base cascade to the memo, the cleaner, and the WAL."""
+        super().attach_obs(obs)
+        attached = self.obs  # None when obs is absent or at level "off"
+        self.memo.attach_obs(attached)
+        self.cleaner.attach_obs(attached)
+        if self.wal is not None:
+            self.wal.attach_obs(attached)
+
+    # ------------------------------------------------------------------
     # Memo-based insert / update / delete (Figures 4 and 5)
     # ------------------------------------------------------------------
 
     def insert_object(self, oid: int, rect: Rect) -> None:
         """MemoBasedInsert — inserts and updates are the same operation."""
-        self._memo_based_insert(oid, rect)
+        obs = self.obs
+        if obs is None:
+            self._memo_based_insert(oid, rect)
+            return
+        with obs.span("insert", io=self.stats, tree=self.name, oid=oid) as sp:
+            self._memo_based_insert(oid, rect)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
 
     def update_object(
         self, oid: int, old_rect: Optional[Rect], new_rect: Rect
     ) -> None:
         """Memo-based update.  ``old_rect`` is ignored: *"The old value of
         the object being updated is not required"* (Section 3.2.1)."""
-        self._memo_based_insert(oid, new_rect)
+        obs = self.obs
+        if obs is None:
+            self._memo_based_insert(oid, new_rect)
+            return
+        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+            self._memo_based_insert(oid, new_rect)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
 
     def _memo_based_insert(self, oid: int, rect: Rect) -> None:
         stamp = self.stamps.next()
@@ -151,6 +179,15 @@ class RUMTree(RTreeBase):
         """MemoBasedDelete (Figure 5): a deletion never touches the tree —
         it only bumps the memo so every tree entry of ``oid`` becomes
         obsolete and is garbage-collected later."""
+        obs = self.obs
+        if obs is None:
+            self._memo_based_delete(oid)
+            return
+        with obs.span("delete", io=self.stats, tree=self.name, oid=oid) as sp:
+            self._memo_based_delete(oid)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+
+    def _memo_based_delete(self, oid: int) -> None:
         stamp = self.stamps.next()
         self.memo.record_update(oid, stamp)
         if self.recovery_option == RECOVERY_FULL_LOG:
@@ -177,6 +214,15 @@ class RUMTree(RTreeBase):
 
     def search(self, window: Rect) -> List[Tuple[int, Rect]]:
         """All live objects whose latest MBR intersects ``window``."""
+        obs = self.obs
+        if obs is None:
+            return self._memo_filtered_search(window)
+        with obs.span("query", io=self.stats, tree=self.name) as sp:
+            results = self._memo_filtered_search(window)
+        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        return results
+
+    def _memo_filtered_search(self, window: Rect) -> List[Tuple[int, Rect]]:
         raw = self.range_search(window)
         check_status = self.memo.check_status
         return [
@@ -198,6 +244,17 @@ class RUMTree(RTreeBase):
         """
         if k <= 0:
             return []
+        obs = self.obs
+        if obs is None:
+            return self._memo_filtered_knn(x, y, k)
+        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+            results = self._memo_filtered_knn(x, y, k)
+        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        return results
+
+    def _memo_filtered_knn(
+        self, x: float, y: float, k: int
+    ) -> List[Tuple[int, Rect]]:
         results: List[Tuple[int, Rect]] = []
         reported = set()
         for entry, _dist in self.iter_nearest(x, y):

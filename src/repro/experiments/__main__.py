@@ -6,18 +6,38 @@ Usage::
     python -m repro.experiments fig10 fig15
     python -m repro.experiments all
     REPRO_BENCH_SCALE=0.2 python -m repro.experiments fig12
+    python -m repro.experiments fig10 --obs-out obs/ --obs-level trace
 
 Each experiment prints the same table(s) the corresponding paper figure or
 table reports; ``pytest benchmarks/`` additionally asserts the expected
 qualitative shapes and archives the outputs.
+
+``--obs-out DIR`` switches on the observability layer for every tree the
+experiments build and writes a telemetry sidecar next to the tables:
+``DIR/events.jsonl`` (the span/event trace), ``DIR/metrics.prom``
+(Prometheus text exposition), and ``DIR/metrics.json``.  ``--obs-level``
+selects the verbosity (``metrics`` < ``trace`` < ``debug``; ``debug``
+additionally mirrors every event onto the ``repro.obs`` logging channel).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs import (
+    LEVELS,
+    JsonlEventSink,
+    LoggingEventSink,
+    Observability,
+    TeeEventSink,
+    metrics_json,
+    set_default_obs,
+    write_prometheus,
+)
 
 from . import (
     run_buffer_ablation,
@@ -174,6 +194,33 @@ _register(
 )
 
 
+def _build_obs(args) -> Optional[Observability]:
+    """The Observability instance the CLI flags ask for (None = off)."""
+    if args.obs_out is None and args.obs_level is None:
+        return None
+    level = args.obs_level or "trace"
+    if level == "off":
+        return None
+    sinks = []
+    if args.obs_out is not None:
+        sinks.append(
+            JsonlEventSink(pathlib.Path(args.obs_out) / "events.jsonl")
+        )
+    if level == "debug" or not sinks:
+        sinks.append(LoggingEventSink())
+    sink = sinks[0] if len(sinks) == 1 else TeeEventSink(sinks)
+    return Observability(level=level, sink=sink)
+
+
+def _write_obs_sidecar(obs: Observability, out_dir: pathlib.Path) -> None:
+    write_prometheus(obs.registry, out_dir / "metrics.prom")
+    (out_dir / "metrics.json").write_text(metrics_json(obs.registry))
+    print(
+        f"\ntelemetry sidecar: {out_dir / 'events.jsonl'}, "
+        f"{out_dir / 'metrics.prom'}, {out_dir / 'metrics.json'}"
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -184,6 +231,20 @@ def main(argv: List[str] = None) -> int:
         "experiments",
         nargs="+",
         help="experiment names (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help="write a telemetry sidecar (events.jsonl, metrics.prom, "
+        "metrics.json) into DIR",
+    )
+    parser.add_argument(
+        "--obs-level",
+        choices=LEVELS,
+        default=None,
+        help="observability verbosity (default: trace when --obs-out is "
+        "given, otherwise off)",
     )
     args = parser.parse_args(argv)
 
@@ -202,18 +263,37 @@ def main(argv: List[str] = None) -> int:
             f"unknown experiment(s) {unknown}; try 'list'"
         )
 
-    print(f"workload scale: {bench_scale()} (set REPRO_BENCH_SCALE to change)")
-    for name in names:
-        description, pairs = _RENDERERS[name]
-        print(f"\n=== {name}: {description} ===")
-        cache: Dict[Callable, ExperimentResult] = {}
-        started = time.perf_counter()
-        for driver, render in pairs:
-            if driver not in cache:
-                cache[driver] = driver()
-            print()
-            print(render(cache[driver]))
-        print(f"\n[{name} finished in {time.perf_counter() - started:.1f}s]")
+    obs = _build_obs(args)
+    set_default_obs(obs)
+    try:
+        print(
+            f"workload scale: {bench_scale()} "
+            f"(set REPRO_BENCH_SCALE to change)"
+        )
+        for name in names:
+            description, pairs = _RENDERERS[name]
+            print(f"\n=== {name}: {description} ===")
+            if obs is not None:
+                obs.event("experiment.start", experiment=name)
+            cache: Dict[Callable, ExperimentResult] = {}
+            started = time.perf_counter()
+            for driver, render in pairs:
+                if driver not in cache:
+                    cache[driver] = driver()
+                print()
+                print(render(cache[driver]))
+            elapsed = time.perf_counter() - started
+            if obs is not None:
+                obs.event(
+                    "experiment.end", experiment=name, dur_s=elapsed
+                )
+            print(f"\n[{name} finished in {elapsed:.1f}s]")
+        if obs is not None and args.obs_out is not None:
+            _write_obs_sidecar(obs, pathlib.Path(args.obs_out))
+    finally:
+        set_default_obs(None)
+        if obs is not None:
+            obs.close()
     return 0
 
 

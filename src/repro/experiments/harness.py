@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.rum import RUMTree
 from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.obs import Observability, get_default_obs
 from repro.storage.iostats import IOSnapshot
 from repro.workload.queries import RangeQueryGenerator
 from repro.workload.trace import Operation, UpdateOp
@@ -80,9 +81,19 @@ def make_tree(
     node_size: int = 8192,
     inspection_ratio: float = 0.2,
     fur_extension: float = 0.01,
+    obs: Optional[Observability] = None,
     **extra,
 ):
-    """Construct one evaluated index variant on a fresh storage stack."""
+    """Construct one evaluated index variant on a fresh storage stack.
+
+    When no ``obs`` is given, the process-default observability (set by
+    the CLI's ``--obs-out``/``--obs-level``) is attached, so every figure
+    driver emits telemetry without threading a parameter through.
+    """
+    if obs is None:
+        obs = get_default_obs()
+    if obs is not None:
+        extra.setdefault("obs", obs)
     if kind == "rstar":
         return build_rstar_tree(node_size=node_size, **extra)
     if kind == "fur":
@@ -143,9 +154,19 @@ def measure_updates(tree, objects, count: int) -> UpdateMeasurement:
     for oid, old_rect, new_rect in objects.updates(count):
         tree.update_object(oid, old_rect, new_rect)
     cpu = time.process_time() - started
-    return UpdateMeasurement(
+    measurement = UpdateMeasurement(
         updates=count, io=tree.stats.snapshot() - before, cpu_seconds=cpu
     )
+    obs = getattr(tree, "obs", None)
+    if obs is not None:
+        obs.event(
+            "measure.updates",
+            tree=tree.name,
+            updates=count,
+            cpu_seconds=cpu,
+            io=measurement.io.as_dict(),
+        )
+    return measurement
 
 
 @dataclass
@@ -172,12 +193,23 @@ def measure_queries(
     for window in queries.queries(count):
         results += len(tree.search(window))
     cpu = time.process_time() - started
-    return QueryMeasurement(
+    measurement = QueryMeasurement(
         queries=count,
         io=tree.stats.snapshot() - before,
         cpu_seconds=cpu,
         results=results,
     )
+    obs = getattr(tree, "obs", None)
+    if obs is not None:
+        obs.event(
+            "measure.queries",
+            tree=tree.name,
+            queries=count,
+            cpu_seconds=cpu,
+            results=results,
+            io=measurement.io.as_dict(),
+        )
+    return measurement
 
 
 @dataclass

@@ -16,9 +16,12 @@ The created stack is reachable from the tree: ``tree.buffer``,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.rum import RECOVERY_NONE, RUMTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 from repro.rtree.fur import FURTree
 from repro.rtree.rstar import RStarTree
 from repro.storage.buffer import BufferPool
@@ -52,31 +55,40 @@ def build_storage(
 def build_rstar_tree(
     node_size: int = DEFAULT_NODE_SIZE,
     leaf_cache_pages: int = 0,
+    obs: Optional["Observability"] = None,
     **tree_kwargs,
 ) -> RStarTree:
     """An R*-tree baseline on a fresh storage stack."""
-    return RStarTree(
+    tree = RStarTree(
         build_storage(node_size, leaf_cache_pages=leaf_cache_pages),
         **tree_kwargs,
     )
+    if obs is not None:
+        tree.attach_obs(obs)
+    return tree
 
 
 def build_fur_tree(
     node_size: int = DEFAULT_NODE_SIZE,
     leaf_cache_pages: int = 0,
+    obs: Optional["Observability"] = None,
     **tree_kwargs,
 ) -> FURTree:
     """A FUR-tree baseline (bottom-up updates) on a fresh storage stack."""
-    return FURTree(
+    tree = FURTree(
         build_storage(node_size, leaf_cache_pages=leaf_cache_pages),
         **tree_kwargs,
     )
+    if obs is not None:
+        tree.attach_obs(obs)
+    return tree
 
 
 def build_rum_tree(
     node_size: int = DEFAULT_NODE_SIZE,
     recovery_option: Optional[str] = None,
     leaf_cache_pages: int = 0,
+    obs: Optional["Observability"] = None,
     **tree_kwargs,
 ) -> RUMTree:
     """A RUM-tree on a fresh storage stack (RUM leaf layout).
@@ -90,9 +102,12 @@ def build_rum_tree(
     wal: Optional[WriteAheadLog] = None
     if recovery_option is not None and recovery_option != RECOVERY_NONE:
         wal = WriteAheadLog(node_size, buffer.stats)
-    return RUMTree(
+    tree = RUMTree(
         buffer,
         recovery_option=recovery_option,
         wal=wal,
         **tree_kwargs,
     )
+    if obs is not None:
+        tree.attach_obs(obs)
+    return tree

@@ -1,0 +1,71 @@
+"""Exporters: Prometheus text exposition and JSON metric dumps.
+
+The Prometheus format follows the text exposition conventions: metric
+names are the registry names with dots replaced by underscores and a
+``repro_`` prefix; histograms expand to cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import List, Union
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:
+    """Render a registry (sampled now) or a snapshot as exposition text."""
+    snap = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for name in sorted(snap.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(snap.counters[name])}")
+    for name in sorted(snap.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(snap.gauges[name])}")
+    for name in sorted(snap.histograms):
+        hist = snap.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {_prom_value(hist.total)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(
+    source: Union[MetricsRegistry, MetricsSnapshot],
+    path: Union[str, os.PathLike],
+) -> pathlib.Path:
+    """Write the exposition text to ``path`` (parents created)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(source))
+    return path
+
+
+def metrics_json(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:
+    """The snapshot as pretty-printed JSON (CI artifacts, debugging)."""
+    snap = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    return json.dumps(snap.as_dict(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,174 @@
+"""Span tracing: nested wall-clock timing with attached I/O deltas.
+
+A span brackets one logical operation::
+
+    with tracer.span("update", io=tree.stats, oid=42) as span:
+        tree.update_object(...)
+    span.io_delta.leaf_total   # exact I/O charged inside the span
+
+Spans nest (the tracer keeps a stack; each emitted event carries its
+``depth`` and its parent's sequence number) and every span end emits one
+event to the tracer's sink, so a JSONL sink yields a complete trace.
+
+Disabled tracing is a true no-op: :data:`NULL_TRACER` hands out one
+shared :class:`NullSpan` whose ``__enter__``/``__exit__`` do nothing and
+allocate nothing — and the instrumented hot paths additionally guard on
+``obs is None`` so the common case never even reaches it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .events import EventSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.iostats import IOSnapshot, IOStats
+
+
+class Span:
+    """One timed (and optionally I/O-accounted) operation."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "_tracer",
+        "_io_stats",
+        "_io_before",
+        "io_delta",
+        "started_at",
+        "duration_s",
+        "depth",
+        "seq",
+        "parent_seq",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        io: Optional["IOStats"] = None,
+        attrs: Optional[Dict] = None,
+    ):
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self._io_stats = io
+        self._io_before: Optional["IOSnapshot"] = None
+        self.io_delta: Optional["IOSnapshot"] = None
+        self.started_at = 0.0
+        self.duration_s = 0.0
+        self.depth = 0
+        self.seq = 0
+        self.parent_seq: Optional[int] = None
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        if self._io_stats is not None:
+            self._io_before = self._io_stats.snapshot()
+        self.started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self.started_at
+        if self._io_before is not None:
+            self.io_delta = self._io_stats.snapshot() - self._io_before
+        self._tracer._pop(self, failed=exc_type is not None)
+        return False
+
+
+class NullSpan:
+    """Shared do-nothing span for disabled tracing."""
+
+    __slots__ = ()
+
+    io_delta = None
+    duration_s = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same inert object."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, io=None, **attrs) -> NullSpan:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Produces nested spans and emits one event per span end.
+
+    Events have ``type="span"`` and carry the span name, wall-clock
+    timestamp, duration in milliseconds, nesting depth, a process-wide
+    sequence number (``seq``) with the parent span's number
+    (``parent``), any attributes given at creation, and — when the span
+    was opened with ``io=`` — the exact :class:`IOSnapshot` delta under
+    ``"io"``.
+    """
+
+    __slots__ = ("sink", "_stack", "_next_seq")
+
+    enabled = True
+
+    def __init__(self, sink: Optional[EventSink] = None):
+        self.sink = sink
+        self._stack: List[Span] = []
+        self._next_seq = 0
+
+    def span(self, name: str, io: Optional["IOStats"] = None, **attrs) -> Span:
+        return Span(self, name, io=io, attrs=attrs or None)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) ---------------
+
+    def _push(self, span: Span) -> None:
+        span.depth = len(self._stack)
+        span.seq = self._next_seq
+        self._next_seq += 1
+        span.parent_seq = self._stack[-1].seq if self._stack else None
+        self._stack.append(span)
+
+    def _pop(self, span: Span, failed: bool) -> None:
+        # Tolerate a mismatched stack (a span leaked across a generator
+        # boundary) by unwinding to the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self.sink is None:
+            return
+        event: Dict = {
+            "type": "span",
+            "name": span.name,
+            "ts": time.time(),
+            "dur_ms": span.duration_s * 1000.0,
+            "depth": span.depth,
+            "seq": span.seq,
+        }
+        if span.parent_seq is not None:
+            event["parent"] = span.parent_seq
+        if failed:
+            event["error"] = True
+        if span.attrs:
+            event.update(span.attrs)
+        if span.io_delta is not None:
+            event["io"] = span.io_delta.as_dict()
+        self.sink.emit(event)

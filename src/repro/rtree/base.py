@@ -22,9 +22,22 @@ free (cached).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.storage.buffer import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 from .geometry import Rect
 from .node import IndexEntry, LeafEntry, Node
@@ -99,6 +112,16 @@ class RTreeBase:
         #: child page id -> parent page id (root has no entry).
         self.parent: Dict[int, int] = {}
 
+        #: Observability handle (None = disabled).  The protocol entry
+        #: points (update/query/kNN) guard on it, so the un-instrumented
+        #: path costs one attribute load and a None check.
+        self.obs: Optional["Observability"] = None
+        self._obs_c_updates = None
+        self._obs_c_queries = None
+        self._obs_c_knn = None
+        self._obs_h_update_io = None
+        self._obs_h_query_io = None
+
         if attach is not None:
             self.root_id = attach["root_id"]
             self.height = attach["height"]
@@ -110,6 +133,49 @@ class RTreeBase:
                 root.next_leaf = root.page_id
             self.root_id = root.page_id
             self.height = 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    #: Histogram bounds for per-operation leaf I/O (operations cost a
+    #: handful of page accesses; the tail catches pathological queries).
+    _IO_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 128.0)
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Attach observability to this tree and its whole storage stack.
+
+        Cascades to the buffer pool (and through it, the disk manager);
+        subclasses extend the cascade to the memo, the cleaner, the WAL,
+        or the secondary index.  Passing ``None`` — or an instance at
+        level ``off`` — detaches everything.
+        """
+        enabled = obs is not None and obs.enabled
+        self.obs = obs if enabled else None
+        self.buffer.attach_obs(obs if enabled else None)
+        if enabled and obs.metrics_on:
+            reg = obs.registry
+            self._obs_c_updates = reg.counter("tree.updates")
+            self._obs_c_queries = reg.counter("tree.queries")
+            self._obs_c_knn = reg.counter("tree.knn_queries")
+            self._obs_h_update_io = reg.histogram(
+                "tree.update_leaf_io", self._IO_BUCKETS
+            )
+            self._obs_h_query_io = reg.histogram(
+                "tree.query_leaf_io", self._IO_BUCKETS
+            )
+            reg.gauge("tree.height").set_function(lambda: self.height)
+        else:
+            self._obs_c_updates = self._obs_c_queries = None
+            self._obs_c_knn = None
+            self._obs_h_update_io = self._obs_h_query_io = None
+
+    def _obs_record(self, counter, histogram, span) -> None:
+        """Account one finished operation span (enabled path only)."""
+        if counter is not None:
+            counter.inc()
+            if histogram is not None and span.io_delta is not None:
+                histogram.observe(span.io_delta.leaf_total)
 
     # ------------------------------------------------------------------
     # Insertion

@@ -22,9 +22,12 @@ hooks below charge it faithfully.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.storage.buffer import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 from .base import RTreeBase
 from .geometry import Rect
@@ -75,6 +78,23 @@ class FURTree(RTreeBase):
         self.updates_to_sibling = 0
         self.updates_top_down = 0
 
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Extend the base cascade with the bottom-up case mix and the
+        secondary-index footprint."""
+        super().attach_obs(obs)
+        if self.obs is not None and obs.metrics_on:
+            reg = obs.registry
+            reg.gauge("fur.updates_in_place").set_function(
+                lambda: self.updates_in_place
+            )
+            reg.gauge("fur.updates_to_sibling").set_function(
+                lambda: self.updates_to_sibling
+            )
+            reg.gauge("fur.updates_top_down").set_function(
+                lambda: self.updates_top_down
+            )
+            reg.gauge("fur.index_bytes").set_function(self.index.size_bytes)
+
     # ------------------------------------------------------------------
     # Secondary-index maintenance hooks
     # ------------------------------------------------------------------
@@ -100,6 +120,15 @@ class FURTree(RTreeBase):
 
     def update_object(self, oid: int, old_rect: Rect, new_rect: Rect) -> None:
         """Bottom-up update (Figure 1b)."""
+        obs = self.obs
+        if obs is None:
+            self._bottom_up_update(oid, new_rect)
+            return
+        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+            self._bottom_up_update(oid, new_rect)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+
+    def _bottom_up_update(self, oid: int, new_rect: Rect) -> None:
         leaf_page = self.index.lookup(oid)
         if leaf_page is None:
             raise ObjectNotFoundError(oid)
@@ -137,13 +166,25 @@ class FURTree(RTreeBase):
 
     def search(self, window: Rect) -> List[Tuple[int, Rect]]:
         """All objects whose current MBR intersects ``window``."""
-        return [(e.oid, e.rect) for e in self.range_search(window)]
+        obs = self.obs
+        if obs is None:
+            return [(e.oid, e.rect) for e in self.range_search(window)]
+        with obs.span("query", io=self.stats, tree=self.name) as sp:
+            results = [(e.oid, e.rect) for e in self.range_search(window)]
+        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        return results
 
     def nearest_neighbors(
         self, x: float, y: float, k: int
     ) -> List[Tuple[int, Rect]]:
         """The ``k`` objects nearest to ``(x, y)``, nearest first."""
-        return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        obs = self.obs
+        if obs is None:
+            return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+            results = [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        return results
 
     # ------------------------------------------------------------------
     # The three bottom-up cases

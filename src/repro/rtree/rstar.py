@@ -51,24 +51,52 @@ class RStarTree(RTreeBase):
         cost matches the paper's accounting ``IO_TD = IO_search + 3``
         (Section 4.2.1) even when the object stays in the same leaf.
         """
+        obs = self.obs
+        if obs is None:
+            self._top_down_update(oid, old_rect, new_rect)
+            return
+        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+            self._top_down_update(oid, old_rect, new_rect)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+
+    def _top_down_update(self, oid: int, old_rect: Rect, new_rect: Rect) -> None:
         if not self.delete(oid, old_rect):
             raise ObjectNotFoundError(oid)
         self.insert(new_rect, oid)
 
     def delete_object(self, oid: int, old_rect: Rect) -> None:
         """Remove an object entirely (top-down search & delete)."""
-        if not self.delete(oid, old_rect):
-            raise ObjectNotFoundError(oid)
+        obs = self.obs
+        if obs is None:
+            if not self.delete(oid, old_rect):
+                raise ObjectNotFoundError(oid)
+            return
+        with obs.span("delete", io=self.stats, tree=self.name, oid=oid) as sp:
+            if not self.delete(oid, old_rect):
+                raise ObjectNotFoundError(oid)
+        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
 
     def search(self, window: Rect) -> List[Tuple[int, Rect]]:
         """All objects whose current MBR intersects ``window``."""
-        return [(e.oid, e.rect) for e in self.range_search(window)]
+        obs = self.obs
+        if obs is None:
+            return [(e.oid, e.rect) for e in self.range_search(window)]
+        with obs.span("query", io=self.stats, tree=self.name) as sp:
+            results = [(e.oid, e.rect) for e in self.range_search(window)]
+        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        return results
 
     def nearest_neighbors(
         self, x: float, y: float, k: int
     ) -> List[Tuple[int, Rect]]:
         """The ``k`` objects nearest to ``(x, y)``, nearest first."""
-        return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        obs = self.obs
+        if obs is None:
+            return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+            results = [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
+        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        return results
 
     def lookup(self, oid: int, rect: Rect) -> Optional[Rect]:
         """Return the stored MBR for ``oid`` (testing aid)."""

@@ -29,12 +29,13 @@ write-through with the same counters; the recovery scans use that mode.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, Iterator, Set
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
 from .disk import DiskManager
 from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs import Observability
     from repro.rtree.node import Node
 
     from .codec import NodeCodec
@@ -78,6 +79,39 @@ class BufferPool:
         self._lru: Dict[int, "Node"] = {}
         self._lru_dirty: Set[int] = set()
         self._op_depth = 0
+        # Telemetry counters bound by attach_obs(); None = disabled.
+        self._obs_hits = None
+        self._obs_misses = None
+        self._obs_evictions = None
+        self._obs_write_backs = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry: cache hits/misses, evictions, write-backs.
+
+        A *hit* is any ``get_node`` served from the internal cache, the
+        operation cache, or the resident LRU; a *miss* reads the disk.
+        Write-backs count every dirty page written (operation end, LRU
+        eviction, write-through, and explicit ``flush``).  The attach
+        cascades to the disk manager so one call wires the whole stack.
+        """
+        if obs is None or not obs.metrics_on:
+            self._obs_hits = self._obs_misses = None
+            self._obs_evictions = self._obs_write_backs = None
+        else:
+            reg = obs.registry
+            self._obs_hits = reg.counter("buffer.hits")
+            self._obs_misses = reg.counter("buffer.misses")
+            self._obs_evictions = reg.counter("buffer.evictions")
+            self._obs_write_backs = reg.counter("buffer.write_backs")
+            reg.gauge("buffer.internal_cached").set_function(
+                self.cached_internal_nodes
+            )
+            reg.gauge("buffer.lru_resident").set_function(
+                lambda: len(self._lru)
+            )
+        attach = getattr(self.disk, "attach_obs", None)
+        if attach is not None:
+            attach(obs)
 
     # -- operation scope ---------------------------------------------------
 
@@ -114,6 +148,8 @@ class BufferPool:
                 node = self._op_leaf_cache[page_id]
                 self.disk.write_page(page_id, self._page_bytes(node))
                 self.stats.record_write(is_leaf=True)
+                if self._obs_write_backs is not None:
+                    self._obs_write_backs.inc()
         self._dirty_leaves.clear()
         self._op_leaf_cache.clear()
 
@@ -144,10 +180,14 @@ class BufferPool:
 
     def _lru_evict(self, page_id: int) -> None:
         node = self._lru.pop(page_id)
+        if self._obs_evictions is not None:
+            self._obs_evictions.inc()
         if page_id in self._lru_dirty:
             self._lru_dirty.discard(page_id)
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
+            if self._obs_write_backs is not None:
+                self._obs_write_backs.inc()
 
     def _lru_get(self, page_id: int) -> "Node":
         node = self._lru.pop(page_id)
@@ -158,14 +198,21 @@ class BufferPool:
 
     def get_node(self, page_id: int) -> "Node":
         """Fetch a node, charging I/O according to the accounting model."""
+        hits = self._obs_hits
         node = self._internal_cache.get(page_id)
         if node is not None:
+            if hits is not None:
+                hits.inc()
             return node
         node = self._op_leaf_cache.get(page_id)
         if node is not None:
+            if hits is not None:
+                hits.inc()
             return node
         if page_id in self._lru:
             node = self._lru_get(page_id)
+            if hits is not None:
+                hits.inc()
             if self.in_operation:
                 # Move into the operation cache, carrying the dirty flag.
                 del self._lru[page_id]
@@ -177,6 +224,8 @@ class BufferPool:
         data = self.disk.read_page(page_id)
         node = self.codec.decode(page_id, data, lazy=True)
         self.stats.record_read(is_leaf=node.is_leaf)
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
         if node.is_leaf:
             if self.in_operation:
                 self._op_leaf_cache[page_id] = node
@@ -205,6 +254,8 @@ class BufferPool:
                     node.page_id, self._page_bytes(node)
                 )
                 self.stats.record_write(is_leaf=True)
+                if self._obs_write_backs is not None:
+                    self._obs_write_backs.inc()
         else:
             self._internal_cache[node.page_id] = node
             self._dirty_internal.add(node.page_id)
@@ -247,15 +298,20 @@ class BufferPool:
         if self.in_operation:
             raise RuntimeError("flush() inside an operation")
         self._flush_op_cache()
+        write_backs = self._obs_write_backs
         for page_id in sorted(self._lru_dirty):
             node = self._lru[page_id]
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
+            if write_backs is not None:
+                write_backs.inc()
         self._lru_dirty.clear()
         for page_id in sorted(self._dirty_internal):
             node = self._internal_cache[page_id]
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=False)
+            if write_backs is not None:
+                write_backs.inc()
         self._dirty_internal.clear()
 
     def drop_volatile(self) -> None:

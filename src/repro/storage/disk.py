@@ -12,7 +12,10 @@ the tree" after a simulated crash.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: Shared all-zero page images, one per page size.  Allocation is on the
 #: update hot path (every split allocates), so freshly allocated pages
@@ -50,6 +53,31 @@ class DiskManager:
         self._next_id = 0
         self.reads = 0
         self.writes = 0
+        # Telemetry counters bound by attach_obs(); None = disabled, so
+        # the hot-path cost without observability is a single None check.
+        self._obs_reads = None
+        self._obs_writes = None
+        self._obs_allocs = None
+        self._obs_frees = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind (or with ``None``/level ``off``, unbind) telemetry.
+
+        Page reads/writes/allocations/frees become ``disk.*`` counters;
+        the resident page count and byte footprint are exposed as
+        callback gauges sampled only at snapshot time.
+        """
+        if obs is None or not obs.metrics_on:
+            self._obs_reads = self._obs_writes = None
+            self._obs_allocs = self._obs_frees = None
+            return
+        reg = obs.registry
+        self._obs_reads = reg.counter("disk.page_reads")
+        self._obs_writes = reg.counter("disk.page_writes")
+        self._obs_allocs = reg.counter("disk.allocations")
+        self._obs_frees = reg.counter("disk.frees")
+        reg.gauge("disk.pages").set_function(self.num_pages)
+        reg.gauge("disk.bytes").set_function(self.total_bytes)
 
     # -- allocation ----------------------------------------------------------
 
@@ -61,6 +89,8 @@ class DiskManager:
             page_id = self._next_id
             self._next_id += 1
         self._pages[page_id] = zero_page(self.page_size)
+        if self._obs_allocs is not None:
+            self._obs_allocs.inc()
         return page_id
 
     def free(self, page_id: int) -> None:
@@ -69,6 +99,8 @@ class DiskManager:
             raise PageNotAllocatedError(page_id)
         del self._pages[page_id]
         self._free.append(page_id)
+        if self._obs_frees is not None:
+            self._obs_frees.inc()
 
     # -- I/O -----------------------------------------------------------------
 
@@ -79,6 +111,8 @@ class DiskManager:
         except KeyError:
             raise PageNotAllocatedError(page_id) from None
         self.reads += 1
+        if self._obs_reads is not None:
+            self._obs_reads.inc()
         return data
 
     def peek(self, page_id: int) -> bytes:
@@ -101,6 +135,8 @@ class DiskManager:
         # (bytearray/memoryview) are actually copied here.
         self._pages[page_id] = bytes(data)
         self.writes += 1
+        if self._obs_writes is not None:
+            self._obs_writes.inc()
 
     # -- introspection ---------------------------------------------------------
 

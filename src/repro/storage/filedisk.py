@@ -17,9 +17,12 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Iterator, List, Set, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Union
 
 from .disk import PageNotAllocatedError, zero_page
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 PAGES_FILE = "pages.bin"
 META_FILE = "disk.json"
@@ -42,6 +45,22 @@ class FileDiskManager:
         self._next_id = 0
         self.reads = 0
         self.writes = 0
+        self._obs_reads = None
+        self._obs_writes = None
+        self._obs_syncs = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry counters (same channel names as the in-memory
+        manager, plus ``disk.syncs`` for durability points)."""
+        if obs is None or not obs.metrics_on:
+            self._obs_reads = self._obs_writes = self._obs_syncs = None
+            return
+        reg = obs.registry
+        self._obs_reads = reg.counter("disk.page_reads")
+        self._obs_writes = reg.counter("disk.page_writes")
+        self._obs_syncs = reg.counter("disk.syncs")
+        reg.gauge("disk.pages").set_function(self.num_pages)
+        reg.gauge("disk.bytes").set_function(self.total_bytes)
 
     # -- persistence of the allocation state --------------------------------
 
@@ -58,6 +77,8 @@ class FileDiskManager:
 
     def sync(self) -> None:
         """Flush the page file and persist the allocation state."""
+        if self._obs_syncs is not None:
+            self._obs_syncs.inc()
         self._file.flush()
         os.fsync(self._file.fileno())
         (self.directory / META_FILE).write_text(
@@ -108,6 +129,8 @@ class FileDiskManager:
         if page_id not in self._allocated:
             raise PageNotAllocatedError(page_id)
         self.reads += 1
+        if self._obs_reads is not None:
+            self._obs_reads.inc()
         return self._read_raw(page_id)
 
     def peek(self, page_id: int) -> bytes:
@@ -125,6 +148,8 @@ class FileDiskManager:
                 f"{self.page_size}-byte page"
             )
         self.writes += 1
+        if self._obs_writes is not None:
+            self._obs_writes.inc()
         self._write_raw(page_id, bytes(data))
 
     # -- introspection ----------------------------------------------------------

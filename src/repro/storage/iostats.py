@@ -18,6 +18,7 @@ that a harness can measure the exact cost of a single logical operation::
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,15 @@ class IOSnapshot:
             self.counted_total + self.internal_reads + self.internal_writes
         )
 
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain ``{field: value}`` dict.
+
+        The canonical serialisation used by the telemetry exporters and
+        anywhere else a snapshot must become JSON — field order matches
+        the dataclass declaration.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class IOStats:
     """Mutable disk-access counters shared by one storage stack.
@@ -149,6 +159,9 @@ class IOStats:
         else:
             self.internal_writes += 1
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        snap = self.snapshot()
-        return f"IOStats({snap})"
+    def __repr__(self) -> str:
+        fields_repr = ", ".join(
+            f"{name}={value}"
+            for name, value in self.snapshot().as_dict().items()
+        )
+        return f"IOStats({fields_repr})"

@@ -20,9 +20,12 @@ model in Section 4.2.3).  Reading the log back during recovery charges
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from .iostats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: Simulated on-disk size of one Update-Memo entry (the paper's ``E``):
 #: oid (8) + S_latest (8) + N_old (4), padded.
@@ -62,6 +65,25 @@ class WriteAheadLog:
         self._records: List[LogRecord] = []
         self._current_fill = 0
         self._next_lsn = 0
+        self._obs = None
+        self._obs_appends = None
+        self._obs_forced = None
+        self._obs_page_writes = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry: append/force counts, page writes, log size."""
+        if obs is None or not obs.metrics_on:
+            self._obs = None
+            self._obs_appends = self._obs_forced = None
+            self._obs_page_writes = None
+            return
+        self._obs = obs
+        reg = obs.registry
+        self._obs_appends = reg.counter("wal.appends")
+        self._obs_forced = reg.counter("wal.forced_flushes")
+        self._obs_page_writes = reg.counter("wal.page_writes")
+        reg.gauge("wal.records").set_function(self.__len__)
+        reg.gauge("wal.bytes").set_function(self.total_bytes)
 
     # -- writing -------------------------------------------------------------
 
@@ -77,6 +99,8 @@ class WriteAheadLog:
         record = LogRecord(self._next_lsn, kind, payload, nbytes)
         self._next_lsn += 1
         self._records.append(record)
+        if self._obs_appends is not None:
+            self._obs_appends.inc()
 
         remaining = nbytes
         while self._current_fill + remaining >= self.page_size:
@@ -85,12 +109,17 @@ class WriteAheadLog:
             remaining -= self.page_size - self._current_fill
             self._current_fill = 0
             self.stats.log_writes += 1
+            if self._obs_page_writes is not None:
+                self._obs_page_writes.inc()
         self._current_fill += remaining
 
         if force and self._current_fill > 0:
             self.stats.log_writes += 1
             # The page stays open for further appends; forcing it again
             # later costs another write, as in a real log device.
+            if self._obs_forced is not None:
+                self._obs_forced.inc()
+                self._obs_page_writes.inc()
         return record
 
     def append_memo_change(self, oid: int, stamp: int,
@@ -105,7 +134,16 @@ class WriteAheadLog:
         """Option II/III: log a full UM snapshot plus the stamp counter."""
         nbytes = CHECKPOINT_HEADER_BYTES + UM_ENTRY_BYTES * len(memo_snapshot)
         payload = (stamp_counter, list(memo_snapshot))
-        return self.append("checkpoint", payload, nbytes, force=True)
+        record = self.append("checkpoint", payload, nbytes, force=True)
+        if self._obs is not None:
+            self._obs.event(
+                "wal.checkpoint",
+                lsn=record.lsn,
+                entries=len(memo_snapshot),
+                stamp=stamp_counter,
+                nbytes=nbytes,
+            )
+        return record
 
     # -- reading (recovery) -----------------------------------------------------
 

@@ -1,0 +1,94 @@
+"""Tests for IOStats/IOSnapshot arithmetic, totals, and serialisation."""
+
+from dataclasses import fields
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.iostats import IOSnapshot, IOStats
+
+FIELD_NAMES = tuple(f.name for f in fields(IOSnapshot))
+
+snapshots = st.builds(
+    IOSnapshot,
+    **{
+        name: st.integers(min_value=0, max_value=10_000)
+        for name in FIELD_NAMES
+    },
+)
+
+
+class TestArithmetic:
+    @given(snapshots, snapshots)
+    def test_add_sub_round_trip(self, a, b):
+        assert (a + b) - b == a
+        assert (a + b) - a == b
+
+    @given(snapshots)
+    def test_zero_identity(self, a):
+        zero = IOSnapshot()
+        assert a + zero == a
+        assert a - zero == a
+        assert a - a == zero
+
+    @given(snapshots, snapshots)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    def test_fieldwise_subtraction(self):
+        after = IOSnapshot(leaf_reads=5, leaf_writes=3, log_writes=2)
+        before = IOSnapshot(leaf_reads=2, leaf_writes=1)
+        delta = after - before
+        assert delta.leaf_reads == 3
+        assert delta.leaf_writes == 2
+        assert delta.log_writes == 2
+        assert delta.internal_reads == 0
+
+
+class TestTotals:
+    @given(snapshots)
+    def test_totals_invariants(self, snap):
+        assert snap.leaf_total == snap.leaf_reads + snap.leaf_writes
+        assert snap.index_total == snap.index_reads + snap.index_writes
+        assert snap.log_total == snap.log_reads + snap.log_writes
+        assert snap.counted_total == (
+            snap.leaf_total + snap.index_total + snap.log_total
+        )
+        assert snap.grand_total == (
+            snap.counted_total + snap.internal_reads + snap.internal_writes
+        )
+        assert snap.grand_total == sum(snap.as_dict().values())
+
+    @given(snapshots)
+    def test_as_dict_covers_every_field(self, snap):
+        data = snap.as_dict()
+        assert set(data) == set(FIELD_NAMES)
+        assert IOSnapshot(**data) == snap
+
+
+class TestIOStats:
+    def test_recording_and_snapshot(self):
+        stats = IOStats()
+        stats.record_read(is_leaf=True)
+        stats.record_read(is_leaf=False)
+        stats.record_write(is_leaf=True)
+        snap = stats.snapshot()
+        assert snap.leaf_reads == 1
+        assert snap.internal_reads == 1
+        assert snap.leaf_writes == 1
+        assert snap.leaf_total == 2
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(is_leaf=True)
+        stats.reset()
+        assert stats.snapshot() == IOSnapshot()
+
+    def test_repr_is_flat(self):
+        """The repr lists counters directly — no nested IOSnapshot(...)."""
+        stats = IOStats()
+        stats.record_read(is_leaf=True)
+        text = repr(stats)
+        assert text.startswith("IOStats(leaf_reads=1, ")
+        assert "IOSnapshot" not in text
+        assert all(name in text for name in FIELD_NAMES)

@@ -160,6 +160,36 @@ class TestSizeMetrics:
         memo.record_update(2, 3)
         assert memo.total_n_old() == 3
 
+    def test_size_tracks_record_clean_purge_cycle(self):
+        """size_bytes/total_n_old stay consistent through the full entry
+        lifecycle: records grow them, cleans shrink them, purges drop
+        whole entries."""
+        memo = UpdateMemo()
+        for oid in range(8):
+            memo.record_update(oid, oid + 1)       # N_old = 1 each
+        for oid in range(4):
+            memo.record_update(oid, 100 + oid)     # N_old = 2 for 0..3
+        assert memo.size_bytes() == 8 * UM_ENTRY_BYTES
+        assert memo.total_n_old() == 12
+
+        memo.note_cleaned(0)                       # 0 back to N_old = 1
+        memo.note_cleaned(7)                       # 7 drops out entirely
+        assert len(memo) == 7
+        assert memo.size_bytes() == 7 * UM_ENTRY_BYTES
+        assert memo.total_n_old() == 10
+
+        # Stamps 1..8 are below 100: purge everything not re-updated.
+        purged = memo.purge_phantoms(100)
+        assert purged == 3                         # oids 4, 5, 6
+        assert len(memo) == 4
+        assert memo.size_bytes() == 4 * UM_ENTRY_BYTES
+        assert memo.total_n_old() == 7  # oid 0 at 1, oids 1-3 at 2
+
+    def test_empty_memo_reports_zero(self):
+        memo = UpdateMemo()
+        assert memo.size_bytes() == 0
+        assert memo.total_n_old() == 0
+
     def test_bucket_lock_accessible(self):
         memo = UpdateMemo(n_buckets=8)
         lock = memo.bucket_lock(13)

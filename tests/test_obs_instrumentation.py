@@ -1,0 +1,214 @@
+"""End-to-end tests for the instrumented storage/RUM stack.
+
+Covers the ISSUE's acceptance invariant: with tracing enabled, the sum of
+per-update leaf I/O attached to the spans equals the ``IOStats`` delta
+over the same interval — the trace never under- or over-counts.
+"""
+
+import json
+
+import pytest
+
+from repro.core.memo import UpdateMemo
+from repro.experiments.__main__ import main as cli_main
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.obs import ListEventSink, Observability
+from repro.rtree.geometry import Rect
+from repro.workload.objects import default_network_workload
+
+
+def _traced_obs():
+    sink = ListEventSink()
+    return Observability(level="trace", sink=sink), sink
+
+
+def _run_workload(tree, n_objects=120, n_updates=200):
+    workload = default_network_workload(
+        n_objects, moving_distance=0.02, seed=5
+    )
+    for oid, rect in workload.initial():
+        tree.insert_object(oid, rect)
+    for oid, old_rect, new_rect in workload.updates(n_updates):
+        tree.update_object(oid, old_rect, new_rect)
+
+
+class TestSpanIOExactness:
+    @pytest.mark.parametrize(
+        "build",
+        [build_rstar_tree, build_fur_tree, build_rum_tree],
+        ids=["rstar", "fur", "rum"],
+    )
+    def test_update_span_io_sums_to_stats_delta(self, build):
+        obs, sink = _traced_obs()
+        tree = build(node_size=2048, obs=obs)
+        workload = default_network_workload(
+            100, moving_distance=0.02, seed=5
+        )
+        for oid, rect in workload.initial():
+            tree.insert_object(oid, rect)
+        before = tree.stats.snapshot()
+        sink.events.clear()
+        for oid, old_rect, new_rect in workload.updates(150):
+            tree.update_object(oid, old_rect, new_rect)
+        delta = tree.stats.snapshot() - before
+        spans = [e for e in sink.of_type("span") if e["name"] == "update"]
+        assert len(spans) == 150
+        assert sum(s["io"]["leaf_reads"] for s in spans) == delta.leaf_reads
+        assert sum(s["io"]["leaf_writes"] for s in spans) == delta.leaf_writes
+        span_total = sum(
+            sum(s["io"].values()) for s in spans
+        )
+        assert span_total == delta.grand_total
+
+    def test_query_spans_account_their_io(self):
+        obs, sink = _traced_obs()
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree)
+        before = tree.stats.snapshot()
+        sink.events.clear()
+        for _ in range(20):
+            tree.search(Rect(0.2, 0.2, 0.8, 0.8))
+        delta = tree.stats.snapshot() - before
+        spans = [e for e in sink.of_type("span") if e["name"] == "query"]
+        assert len(spans) == 20
+        assert (
+            sum(s["io"]["leaf_reads"] for s in spans) == delta.leaf_reads
+        )
+
+
+class TestMetricsWiring:
+    def test_tree_counters_count_operations(self):
+        obs, _sink = _traced_obs()
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        before = obs.registry.snapshot()
+        _run_workload(tree, n_updates=50)
+        tree.search(Rect(0.0, 0.0, 1.0, 1.0))
+        tree.nearest_neighbors(0.5, 0.5, 3)
+        delta = obs.registry.snapshot() - before
+        # Memo-based inserts and updates are the same operation, so the
+        # 120 loading inserts count alongside the 50 updates.
+        assert delta.counters["tree.updates"] == 170
+        assert delta.counters["tree.queries"] == 1
+        assert delta.counters["tree.knn_queries"] == 1
+        hist = delta.histograms["tree.update_leaf_io"]
+        assert hist.count == 170
+
+    def test_buffer_misses_match_disk_reads(self):
+        obs, _sink = _traced_obs()
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree)
+        snap = obs.registry.snapshot()
+        assert snap.counters["buffer.misses"] == snap.counters[
+            "disk.page_reads"
+        ]
+        assert snap.counters["buffer.hits"] > 0
+        assert snap.counters["disk.page_writes"] > 0
+        assert snap.gauges["disk.pages"] > 0
+
+    def test_wal_append_counter(self):
+        obs, _sink = _traced_obs()
+        tree = build_rum_tree(
+            node_size=2048, recovery_option="III", obs=obs
+        )
+        _run_workload(tree, n_updates=40)
+        snap = obs.registry.snapshot()
+        assert snap.counters["wal.appends"] > 0
+        assert snap.gauges["wal.records"] > 0
+
+    def test_cleaner_metrics_and_events(self):
+        obs, sink = _traced_obs()
+        tree = build_rum_tree(
+            node_size=2048, inspection_ratio=0.5, obs=obs
+        )
+        _run_workload(tree, n_updates=300)
+        snap = obs.registry.snapshot()
+        assert snap.counters["cleaner.token_steps"] > 0
+        assert snap.counters["cleaner.cycles"] > 0
+        assert snap.histograms["cleaner.cycle_ms"].count == (
+            snap.counters["cleaner.cycles"]
+        )
+        cycles = sink.of_type("cleaner.cycle")
+        assert len(cycles) == snap.counters["cleaner.cycles"]
+        assert all("dur_ms" in c and "steps" in c for c in cycles)
+
+    def test_fur_case_mix_gauges(self):
+        obs, _sink = _traced_obs()
+        tree = build_fur_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=100)
+        snap = obs.registry.snapshot()
+        mix = (
+            snap.gauges["fur.updates_in_place"]
+            + snap.gauges["fur.updates_to_sibling"]
+            + snap.gauges["fur.updates_top_down"]
+        )
+        assert mix == 100
+        assert snap.gauges["fur.index_bytes"] > 0
+
+    def test_memo_purge_counters(self):
+        obs, _sink = _traced_obs()
+        memo = UpdateMemo()
+        memo.attach_obs(obs)
+        for oid in range(10):
+            memo.record_update(oid, oid + 1)
+        purged = memo.purge_phantoms(6)
+        snap = obs.registry.snapshot()
+        assert purged == 5
+        assert snap.counters["memo.purge_runs"] == 1
+        assert snap.counters["memo.purged_entries"] == 5
+        assert snap.gauges["memo.entries"] == 5
+        assert snap.gauges["memo.total_n_old"] == 5
+
+
+class TestAttachDetach:
+    def test_level_off_runs_uninstrumented_path(self):
+        tree = build_rum_tree(
+            node_size=2048, obs=Observability.disabled()
+        )
+        assert tree.obs is None
+        assert tree._obs_c_updates is None
+        assert tree.buffer._obs_hits is None
+        _run_workload(tree, n_updates=20)  # must not raise
+
+    def test_reattach_none_detaches(self):
+        obs, _sink = _traced_obs()
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        assert tree.obs is obs
+        tree.attach_obs(None)
+        assert tree.obs is None
+        assert tree.buffer._obs_hits is None
+        _run_workload(tree, n_updates=20)
+
+    def test_metrics_level_skips_spans(self):
+        sink = ListEventSink()
+        obs = Observability(level="metrics", sink=sink)
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=30)
+        assert sink.events == []
+        # 120 loading inserts + 30 updates, all memo-based operations.
+        assert obs.registry.snapshot().counters["tree.updates"] == 150
+
+
+class TestCliSidecar:
+    def test_obs_out_writes_sidecar(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+        out = tmp_path / "obs"
+        rc = cli_main(["fig15", "--obs-out", str(out)])
+        assert rc == 0
+        events = [
+            json.loads(line)
+            for line in (out / "events.jsonl").read_text().splitlines()
+        ]
+        assert any(e["type"] == "experiment.start" for e in events)
+        assert any(e["type"] == "span" for e in events)
+        prom = (out / "metrics.prom").read_text()
+        assert "repro_tree_updates" in prom
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["counters"]["tree.updates"] > 0
+        assert "telemetry sidecar" in capsys.readouterr().out
+
+    def test_default_obs_cleared_after_run(self, tmp_path, monkeypatch):
+        from repro.obs import get_default_obs
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+        cli_main(["fig15", "--obs-out", str(tmp_path / "obs")])
+        assert get_default_obs() is None

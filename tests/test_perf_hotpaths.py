@@ -263,7 +263,11 @@ class TestBenchCompare:
         mod = self._load_script()
         base = self._report(a=1000.0, b=1000.0, c=1000.0)
         cur = self._report(a=1050.0, b=850.0, c=995.0)
-        assert mod.compare(base, cur, threshold=0.10) == 1
+        report = mod.compare(base, cur, threshold=0.10)
+        assert report["regressions"] == 1
+        assert report["metrics"]["b"]["status"] == "regressed"
+        assert report["metrics"]["b"]["delta_pct"] == pytest.approx(-15.0)
+        assert report["metrics"]["a"]["status"] == "ok"
         out = capsys.readouterr().out
         assert "REGRESSED" in out and "b" in out
 
@@ -271,9 +275,32 @@ class TestBenchCompare:
         mod = self._load_script()
         base = self._report(a=1000.0, gone=500.0)
         cur = self._report(a=1000.0, fresh=700.0)
-        assert mod.compare(base, cur, threshold=0.10) == 0
+        report = mod.compare(base, cur, threshold=0.10)
+        assert report["regressions"] == 0
+        assert report["metrics"]["fresh"]["status"] == "new"
+        assert report["metrics"]["gone"]["status"] == "removed"
         out = capsys.readouterr().out
         assert "NEW" in out and "REMOVED" in out
+
+    def test_json_report_and_summary_line(self, tmp_path, capsys):
+        mod = self._load_script()
+        import json
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        out_json = tmp_path / "cmp.json"
+        base.write_text(json.dumps(self._report(a=1000.0, b=1000.0)))
+        cur.write_text(json.dumps(self._report(a=400.0, b=1000.0)))
+        rc = mod.main(
+            [str(base), str(cur), "--json", str(out_json)]
+        )
+        assert rc == 1
+        report = json.loads(out_json.read_text())
+        assert report["schema"] == "bench_compare/v1"
+        assert report["regressions"] == 1
+        assert report["metrics"]["a"]["status"] == "regressed"
+        out = capsys.readouterr().out
+        assert "summary: 1 regression(s)" in out
 
     def test_end_to_end_exit_codes(self, tmp_path):
         mod = self._load_script()
