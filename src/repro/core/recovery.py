@@ -139,7 +139,11 @@ def recover_option_ii(tree: RUMTree) -> RecoveryReport:
         report = recover_option_i(tree)
         report.option = "II"
         return report
-    tree.wal.read_from(checkpoint.lsn)  # charges the checkpoint's log pages
+    # Option II reads only the checkpoint record itself — read_from()
+    # would also bill the whole post-checkpoint log tail (memo-change
+    # records an Option III logger may have appended) that this
+    # procedure never replays.
+    tree.wal.read_record(checkpoint)
     checkpoint_stamp, snapshot = checkpoint.payload
     tree.memo.restore(iter(snapshot))
 

@@ -1,0 +1,27 @@
+"""Crash-simulation harness: fault injection, recovery, verification.
+
+See :mod:`repro.crashsim.harness` for the model and
+:mod:`repro.storage.faults` for the injection machinery.
+"""
+
+from .harness import (
+    FULL_WINDOW,
+    CrashOutcome,
+    CrashScenario,
+    CrashSimError,
+    WorkloadConfig,
+    default_scenarios,
+    run_scenario,
+    verify_pages,
+)
+
+__all__ = [
+    "FULL_WINDOW",
+    "CrashOutcome",
+    "CrashScenario",
+    "CrashSimError",
+    "WorkloadConfig",
+    "default_scenarios",
+    "run_scenario",
+    "verify_pages",
+]

@@ -42,6 +42,7 @@ from repro.obs import (
 from . import (
     run_buffer_ablation,
     run_cost_validation,
+    run_crash_matrix,
     run_extension_ablation,
     run_fig10,
     run_fig11,
@@ -141,6 +142,26 @@ _register(
                 "log_reads",
                 "spill_io",
                 "memo_entries",
+            ]
+        ),
+    ),
+)
+_register(
+    "crashmatrix",
+    "Crash matrix: fault injection x recovery options (Section 3.4)",
+    (
+        run_crash_matrix,
+        _plain(
+            [
+                "option",
+                "fault_point",
+                "mode",
+                "outcome",
+                "pending_op",
+                "lost_log_records",
+                "live_objects",
+                "recovery_io",
+                "checks_passed",
             ]
         ),
     ),

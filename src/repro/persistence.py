@@ -36,13 +36,18 @@ from repro.core.rum import RUMTree
 from repro.rtree.fur import FURTree
 from repro.rtree.rstar import RStarTree
 from repro.storage.buffer import BufferPool
-from repro.storage.codec import NodeCodec
+from repro.storage.codec import NodeCodec, stamp_checksum
 from repro.storage.filedisk import FileDiskManager
 from repro.storage.iostats import IOStats
 
 TREE_META_FILE = "tree.json"
 
 _KINDS = {RStarTree: "rstar", FURTree: "fur", RUMTree: "rum"}
+
+
+def _source_free_list(source) -> list:
+    """The disk's freed-page-id list (both disk managers keep ``_free``)."""
+    return list(getattr(source, "_free", ()))
 
 
 def save_tree(tree, directory: Union[str, os.PathLike]) -> None:
@@ -54,13 +59,29 @@ def save_tree(tree, directory: Union[str, os.PathLike]) -> None:
 
     directory = pathlib.Path(directory)
     source = tree.buffer.disk
+    stamp = tree.buffer.codec.checksums
     target = FileDiskManager(source.page_size, directory)
     for page_id in source.page_ids():
         # Raw copy outside the counted channels: persistence is not an
-        # experiment operation.
+        # experiment operation.  Pages from a checksum-free in-memory
+        # codec get their crc32 stamped here, so the on-disk copy can be
+        # verified for torn writes when it is reopened.
+        data = source.peek(page_id)
         target._allocated.add(page_id)
-        target._write_raw(page_id, source.peek(page_id))
-    target._next_id = max(target._allocated, default=-1) + 1
+        target._write_raw(
+            page_id, data if stamp else stamp_checksum(data)
+        )
+    # Carry the source's allocation state verbatim: dropping the free
+    # list (or recomputing next_id past it) would leak every freed page
+    # id forever across save/load cycles.
+    target._free = [
+        pid for pid in _source_free_list(source)
+        if pid not in target._allocated
+    ]
+    target._next_id = max(
+        getattr(source, "_next_id", 0),
+        max(target._allocated, default=-1) + 1,
+    )
     target.sync()
     target.close()
 
@@ -99,7 +120,13 @@ def load_tree(directory: Union[str, os.PathLike]):
     directory = pathlib.Path(directory)
     meta = json.loads((directory / TREE_META_FILE).read_text())
     disk = FileDiskManager.open(directory)
-    codec = NodeCodec(meta["node_size"], rum_leaves=meta["rum_leaves"])
+    # Checksums on: pages coming off the real filesystem are verified on
+    # decode, so a torn or corrupted page raises PageChecksumError
+    # instead of silently decoding (pages saved before checksums existed
+    # carry a stored crc of 0 and verify trivially).
+    codec = NodeCodec(
+        meta["node_size"], rum_leaves=meta["rum_leaves"], checksums=True
+    )
     buffer = BufferPool(disk, codec, IOStats())
     attach = {
         "root_id": meta["root_id"],

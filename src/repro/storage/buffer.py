@@ -314,6 +314,20 @@ class BufferPool:
                 write_backs.inc()
         self._dirty_internal.clear()
 
+    def checkpoint(self) -> None:
+        """Make every written page durable: flush all dirty pages, then
+        sync the underlying store (a no-op for the in-memory disk, a real
+        fsync + atomic metadata write for :class:`FileDiskManager`).
+
+        This is the durability tick of the crash-simulation harness: the
+        state as of the last completed ``checkpoint()`` is what a crash
+        is guaranteed to preserve.
+        """
+        self.flush()
+        sync = getattr(self.disk, "sync", None)
+        if sync is not None:
+            sync()
+
     def drop_volatile(self) -> None:
         """Forget all cached nodes *without* writing them.
 

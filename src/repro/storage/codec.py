@@ -18,7 +18,9 @@ Header (32 bytes)::
     4       4     padding
     8       8     prev_leaf page id (int64; leaf ring, Section 3.3.1)
     16      8     next_leaf page id (int64)
-    24      8     reserved
+    24      4     page checksum (crc32 of the page with this field zeroed;
+                  0 = page written without a checksum)
+    28      4     reserved
 
 Entries, densely packed after the header::
 
@@ -47,12 +49,28 @@ format-string construction and per-entry Python-call overhead:
   32-byte header and returns a :class:`~repro.rtree.node.LazyNode` that
   thaws its entries on first access, so header-only consumers (entry
   counts, ring walks, recovery traversals) never materialise entries.
+
+Page checksums
+--------------
+
+Four of the header's reserved bytes hold a crc32 over the whole page
+(computed with the checksum field itself zeroed), so a torn or corrupted
+page image is *detected* instead of silently decoded into garbage
+entries.  Checksumming is off by default — the in-memory experiment path
+never sees torn writes and its codec round-trip is the hottest loop in
+the repository — and switched on (``NodeCodec(..., checksums=True)``)
+by the stacks that actually face crashes: the file-backed persistence
+layer and the crash-simulation harness.  A stored checksum of 0 means
+"written without a checksum" (all pre-checksum pages read back as 0
+there), and verification skips such legacy pages; freshly computed
+checksums that happen to be 0 are remapped so 0 is never written.
 """
 
 from __future__ import annotations
 
 import struct
 from typing import Dict, List, Tuple
+from zlib import crc32
 
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
@@ -68,9 +86,13 @@ from repro.rtree.node import (
     leaf_capacity,
 )
 
-_HEADER_FMT = "BxHxxxxqq8x"
+_HEADER_FMT = "BxHxxxxqqI4x"
 _HEADER = struct.Struct("<" + _HEADER_FMT)
 assert _HEADER.size == NODE_HEADER_BYTES
+
+#: Byte offset of the crc32 checksum field inside the page header.
+CHECKSUM_OFFSET = 24
+_CRC = struct.Struct("<I")
 
 _INDEX_FMT = "4dq"
 _CLASSIC_FMT = "4dq"
@@ -112,6 +134,72 @@ class PageOverflowError(RuntimeError):
     """Raised when a node holds more entries than its page can store."""
 
 
+class PageChecksumError(RuntimeError):
+    """A page image fails its crc32 — torn write or corruption.
+
+    Raised instead of decoding, so damaged pages can never masquerade as
+    valid nodes: a torn leaf would otherwise come back with a plausible
+    header and garbage entries.
+    """
+
+    def __init__(self, page_id: int, stored: int, computed: int):
+        super().__init__(
+            f"page {page_id}: checksum mismatch "
+            f"(stored {stored:#010x}, computed {computed:#010x}) — "
+            f"torn write or corruption"
+        )
+        self.page_id = page_id
+        self.stored = stored
+        self.computed = computed
+
+
+def stamp_checksum(data: bytes) -> bytes:
+    """``data`` with its header checksum field set to the page's crc32.
+
+    Usable on any page image (the field is zeroed before hashing, so
+    re-stamping is idempotent).  A computed crc of 0 is remapped so the
+    stored field is never 0 — 0 is reserved for "no checksum".
+    """
+    buf = bytearray(data)
+    buf[CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4] = b"\x00\x00\x00\x00"
+    crc = crc32(buf) & 0xFFFFFFFF
+    if crc == 0:
+        crc = 0xFFFFFFFF
+    _CRC.pack_into(buf, CHECKSUM_OFFSET, crc)
+    return bytes(buf)
+
+
+def checksum_ok(data: bytes) -> bool:
+    """Whether a page image matches its stored checksum.
+
+    Pages stamped with 0 (written before checksumming existed, or by a
+    codec with ``checksums=False``) verify trivially — there is nothing
+    to check them against.
+    """
+    (stored,) = _CRC.unpack_from(data, CHECKSUM_OFFSET)
+    if stored == 0:
+        return True
+    buf = bytearray(data)
+    buf[CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4] = b"\x00\x00\x00\x00"
+    crc = crc32(buf) & 0xFFFFFFFF
+    if crc == 0:
+        crc = 0xFFFFFFFF
+    return crc == stored
+
+
+def _verify_or_raise(page_id: int, data: bytes) -> None:
+    (stored,) = _CRC.unpack_from(data, CHECKSUM_OFFSET)
+    if stored == 0:
+        return
+    buf = bytearray(data)
+    buf[CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4] = b"\x00\x00\x00\x00"
+    crc = crc32(buf) & 0xFFFFFFFF
+    if crc == 0:
+        crc = 0xFFFFFFFF
+    if crc != stored:
+        raise PageChecksumError(page_id, stored, crc)
+
+
 class NodeCodec:
     """Encode/decode :class:`~repro.rtree.node.Node` objects to page bytes.
 
@@ -122,13 +210,25 @@ class NodeCodec:
     rum_leaves:
         When true, leaf entries use the 56-byte RUM layout carrying the oid
         and the stamp (Section 3.1); otherwise the 40-byte classic layout.
+    checksums:
+        When true, :meth:`encode` stamps a crc32 into the page header and
+        :meth:`decode` verifies it (raising :class:`PageChecksumError` on
+        a torn or corrupted image).  Off by default: the in-memory
+        simulator never sees torn writes and the codec is its hottest
+        loop; the file-backed stacks turn it on.
     """
 
-    def __init__(self, node_size: int, rum_leaves: bool = False):
+    def __init__(
+        self,
+        node_size: int,
+        rum_leaves: bool = False,
+        checksums: bool = False,
+    ):
         if node_size < 128:
             raise ValueError(f"node size {node_size} is unrealistically small")
         self.node_size = node_size
         self.rum_leaves = rum_leaves
+        self.checksums = checksums
         self.leaf_entry_bytes = (
             RUM_LEAF_ENTRY_BYTES if rum_leaves else CLASSIC_LEAF_ENTRY_BYTES
         )
@@ -146,8 +246,10 @@ class NodeCodec:
             raise PageOverflowError(
                 f"node {node.page_id}: {count} entries exceed capacity {cap}"
             )
+        # The checksum field is packed as 0 and stamped afterwards (the
+        # crc covers the fully assembled page).
         flat: List = [
-            1 if node.is_leaf else 0, count, node.prev_leaf, node.next_leaf
+            1 if node.is_leaf else 0, count, node.prev_leaf, node.next_leaf, 0
         ]
         if node.is_leaf:
             if self.rum_leaves:
@@ -170,9 +272,12 @@ class NodeCodec:
                 r = e.rect
                 flat += (r.xmin, r.ymin, r.xmax, r.ymax, e.child_id)
             fmt, entry_bytes = _INDEX_FMT, INDEX_ENTRY_BYTES
-        return _page_struct(self.node_size, fmt, entry_bytes, count).pack(
+        page = _page_struct(self.node_size, fmt, entry_bytes, count).pack(
             *flat
         )
+        if self.checksums:
+            page = stamp_checksum(page)
+        return page
 
     # -- decoding ----------------------------------------------------------
 
@@ -189,7 +294,11 @@ class NodeCodec:
                 f"page {page_id}: expected {self.node_size} bytes, "
                 f"got {len(data)}"
             )
-        is_leaf_flag, count, prev_leaf, next_leaf = _HEADER.unpack_from(data)
+        if self.checksums:
+            _verify_or_raise(page_id, data)
+        is_leaf_flag, count, prev_leaf, next_leaf, _crc = _HEADER.unpack_from(
+            data
+        )
         is_leaf = bool(is_leaf_flag)
         if lazy and is_leaf:
             return LazyNode(
@@ -204,6 +313,11 @@ class NodeCodec:
         )
         node.cached_bytes = data
         return node
+
+    def verify_page(self, page_id: int, data: bytes) -> None:
+        """Raise :class:`PageChecksumError` when ``data`` fails its stored
+        checksum (legacy pages with a stored checksum of 0 pass)."""
+        _verify_or_raise(page_id, data)
 
     def decode_entries(self, is_leaf: bool, count: int, data: bytes) -> List:
         """Materialise the entry list of a page in one pass.

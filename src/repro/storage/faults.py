@@ -1,0 +1,297 @@
+"""Fault injection for the durable storage stack.
+
+Crash-consistency claims are only testable if crashes can actually
+happen, so this module provides a deterministic process-death model: a
+:class:`FaultInjector` is armed at one of the registered *fault points*
+(a named place in the storage code where a real process could die), and
+when the running workload reaches that point the injector raises
+:class:`SimulatedCrash`.  Everything the storage stack had made durable
+before the crash point survives; everything after it is lost — exactly
+like ``kill -9`` between two syscalls.
+
+Three fault modes exist:
+
+* ``crash`` — die *before* the instrumented action happens (the write /
+  sync / force is lost entirely);
+* ``torn`` — for page writes: persist only a prefix of the new page
+  image (the rest keeps the old bytes), then die — the classic torn
+  sector-sequence write of a power failure mid-page;
+* ``corrupt`` — flip bytes in the written image and *continue silently*,
+  modelling bit rot / a misdirected write that no crash announces.
+
+The page-level modes are applied by :class:`FaultyDisk`, a wrapper that
+interposes on any ``DiskManager``-shaped object; the intra-operation
+points (metadata sync steps, WAL forces) are fired directly by
+:class:`~repro.storage.filedisk.FileDiskManager` and
+:class:`~repro.storage.wal.WriteAheadLog`, which both accept an optional
+injector.  Components without an injector pay nothing: the hook is a
+single ``is None`` check, the same discipline as the ``attach_obs``
+instrumentation.
+
+The registered fault points:
+
+======================  ====================================================
+``disk.page_write``     before a page write (the write never happens)
+``disk.page_torn``      mid page write (prefix persisted, then crash)
+``disk.sync.data``      after the data-file fsync, before any metadata write
+``disk.meta.tmp``       after the metadata temp file is written, before the
+                        atomic rename — ``disk.json`` must stay intact
+``wal.append``          before a log record enters the log
+``wal.force``           after a record is appended in memory, before the
+                        forced flush makes it durable
+``wal.checkpoint``      at the start of a checkpoint append (the checkpoint
+                        record never becomes durable)
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: Every fault point the storage stack fires, in rough workload order.
+#: The crash-matrix harness iterates this tuple; adding an instrumented
+#: site to the stack means adding its name here so the matrix covers it.
+FAULT_POINTS = (
+    "disk.page_write",
+    "disk.page_torn",
+    "disk.sync.data",
+    "disk.meta.tmp",
+    "wal.append",
+    "wal.force",
+    "wal.checkpoint",
+)
+
+#: Fault modes: ``crash`` loses the action, ``torn`` persists a prefix of
+#: a page write, ``corrupt`` silently damages the written bytes.
+MODES = ("crash", "torn", "corrupt")
+
+
+class SimulatedCrash(BaseException):
+    """The process model dies at a fault point.
+
+    Deliberately a ``BaseException``: crash-safety code must not be able
+    to swallow it with a broad ``except Exception`` — only the harness
+    (or a test) that armed the injector catches it.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Arms one fault point and fires when the workload reaches it.
+
+    ``skip`` delays the trigger past the first ``skip`` occurrences of
+    the point, so a scenario can crash the 7th page write rather than
+    the 1st.  After firing once the injector disarms itself — a crashed
+    process does not crash twice — which also lets the harness reuse the
+    same injector for the post-crash verification phase.
+    """
+
+    def __init__(self):
+        self.point: Optional[str] = None
+        self.mode = "crash"
+        self.skip = 0
+        self.torn_bytes = 0
+        self.corrupt_bytes = 8
+        self.fired: Optional[str] = None
+        #: occurrences seen per point since the last ``arm`` (all points
+        #: are counted, armed or not — useful for scenario discovery).
+        self.hits: Dict[str, int] = {}
+        self._obs_fired = None
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind telemetry (``faults.fired`` counter)."""
+        if obs is None or not obs.metrics_on:
+            self._obs_fired = None
+            return
+        self._obs_fired = obs.registry.counter("faults.fired")
+
+    def arm(
+        self,
+        point: str,
+        mode: str = "crash",
+        skip: int = 0,
+        torn_bytes: int = 0,
+        corrupt_bytes: int = 8,
+    ) -> "FaultInjector":
+        """Schedule a fault at the ``skip``-th next occurrence of ``point``."""
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; expected one of {FAULT_POINTS}"
+            )
+        if mode not in MODES:
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if skip < 0:
+            raise ValueError("skip must be non-negative")
+        self.point = point
+        self.mode = mode
+        self.skip = skip
+        self.torn_bytes = torn_bytes
+        self.corrupt_bytes = corrupt_bytes
+        self.fired = None
+        self.hits = {}
+        return self
+
+    def disarm(self) -> None:
+        self.point = None
+
+    @property
+    def armed(self) -> bool:
+        return self.point is not None
+
+    def fire(self, point: str) -> None:
+        """Called by instrumented code when it reaches ``point``.
+
+        Raises :class:`SimulatedCrash` when the armed countdown expires;
+        otherwise returns and the action proceeds normally.  Page-level
+        ``torn``/``corrupt`` modes are *not* handled here — they need the
+        page image and are applied by :meth:`FaultyDisk.write_page`; for
+        those points ``fire`` only answers the countdown via
+        :meth:`should_trigger`.
+        """
+        if not self._count(point):
+            return
+        self._mark_fired(point)
+        raise SimulatedCrash(point)
+
+    def should_trigger(self, point: str) -> bool:
+        """Countdown check for sites that apply the fault themselves."""
+        return self._count(point)
+
+    def _count(self, point: str) -> bool:
+        self.hits[point] = self.hits.get(point, 0) + 1
+        if self.point != point or self.fired is not None:
+            return False
+        if self.skip > 0:
+            self.skip -= 1
+            return False
+        return True
+
+    def _mark_fired(self, point: str) -> None:
+        self.fired = point
+        self.point = None  # disarm: a process dies once
+        if self._obs_fired is not None:
+            self._obs_fired.inc()
+
+
+def torn_page(old: bytes, new: bytes, torn_bytes: int) -> bytes:
+    """The image a power failure leaves mid-write: a prefix of ``new``
+    followed by the remainder of ``old`` (default: half the page)."""
+    if len(old) != len(new):
+        raise ValueError("torn_page needs images of equal size")
+    k = torn_bytes if torn_bytes > 0 else len(new) // 2
+    k = max(1, min(k, len(new) - 1))
+    return new[:k] + old[k:]
+
+
+def corrupt_page(data: bytes, n_bytes: int, offset: Optional[int] = None) -> bytes:
+    """``data`` with ``n_bytes`` bytes bit-flipped (deterministic offset:
+    the middle of the page unless given), modelling silent bit rot."""
+    if not data:
+        return data
+    n = max(1, min(n_bytes, len(data)))
+    start = (len(data) - n) // 2 if offset is None else offset
+    start = max(0, min(start, len(data) - n))
+    damaged = bytearray(data)
+    for i in range(start, start + n):
+        damaged[i] ^= 0xFF
+    return bytes(damaged)
+
+
+class FaultyDisk:
+    """Fault-injecting wrapper around any ``DiskManager``-shaped store.
+
+    Interposes only on :meth:`write_page` (where page-level faults live)
+    and :meth:`sync`/:meth:`close` (delegated, so an inner
+    :class:`~repro.storage.filedisk.FileDiskManager` still fires its own
+    metadata fault points); everything else passes straight through, so
+    a buffer pool runs over the wrapper unchanged.
+    """
+
+    def __init__(self, inner, faults: FaultInjector):
+        self.inner = inner
+        self.faults = faults
+
+    # -- interposed writes --------------------------------------------------
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        faults = self.faults
+        point = faults.point
+        if point in ("disk.page_write", "disk.page_torn") and (
+            faults.should_trigger(point)
+        ):
+            if faults.mode == "corrupt":
+                # Silent misdirected write: damaged bytes, no crash.
+                faults._mark_fired(point)
+                self.inner.write_page(
+                    page_id, corrupt_page(bytes(data), faults.corrupt_bytes)
+                )
+                return
+            if point == "disk.page_torn":
+                old = bytes(self.inner.peek(page_id))
+                self.inner.write_page(
+                    page_id, torn_page(old, bytes(data), faults.torn_bytes)
+                )
+            # "disk.page_write" in crash mode: the write is lost entirely.
+            faults._mark_fired(point)
+            raise SimulatedCrash(point)
+        self.inner.write_page(page_id, data)
+
+    # -- plain delegation ---------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    @property
+    def reads(self) -> int:
+        return self.inner.reads
+
+    @property
+    def writes(self) -> int:
+        return self.inner.writes
+
+    def attach_obs(self, obs) -> None:
+        self.faults.attach_obs(obs)
+        attach = getattr(self.inner, "attach_obs", None)
+        if attach is not None:
+            attach(obs)
+
+    def allocate(self) -> int:
+        return self.inner.allocate()
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def read_page(self, page_id: int) -> bytes:
+        return self.inner.read_page(page_id)
+
+    def peek(self, page_id: int) -> bytes:
+        return self.inner.peek(page_id)
+
+    def is_allocated(self, page_id: int) -> bool:
+        return self.inner.is_allocated(page_id)
+
+    def page_ids(self) -> Iterator[int]:
+        return self.inner.page_ids()
+
+    def num_pages(self) -> int:
+        return self.inner.num_pages()
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()
+
+    def sync(self) -> None:
+        sync = getattr(self.inner, "sync", None)
+        if sync is not None:
+            sync()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()

@@ -10,6 +10,15 @@ restored by :meth:`open`.
 
 The I/O counters have the same meaning as the in-memory manager's, so a
 tree running over a file behaves identically in all measurements.
+
+Crash consistency: :meth:`sync` first flushes and fsyncs the page file,
+then replaces ``disk.json`` atomically (write to a temp file, fsync it,
+``os.replace``), so a crash at *any* point of a sync leaves either the
+previous complete metadata or the new complete metadata — never a torn
+or stale-beyond-fsync ``disk.json``.  The optional
+:class:`~repro.storage.faults.FaultInjector` hooks (``disk.sync.data``,
+``disk.meta.tmp``) let the crash-simulation suite kill the process model
+between exactly those steps and verify the guarantee.
 """
 
 from __future__ import annotations
@@ -23,18 +32,26 @@ from .disk import PageNotAllocatedError, zero_page
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from .faults import FaultInjector
 
 PAGES_FILE = "pages.bin"
 META_FILE = "disk.json"
+META_TMP_FILE = "disk.json.tmp"
 
 
 class FileDiskManager:
     """Paged storage backed by a directory on the real filesystem."""
 
-    def __init__(self, page_size: int, directory: Union[str, os.PathLike]):
+    def __init__(
+        self,
+        page_size: int,
+        directory: Union[str, os.PathLike],
+        faults: Optional["FaultInjector"] = None,
+    ):
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
+        self.faults = faults
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._path = self.directory / PAGES_FILE
@@ -65,32 +82,59 @@ class FileDiskManager:
     # -- persistence of the allocation state --------------------------------
 
     @classmethod
-    def open(cls, directory: Union[str, os.PathLike]) -> "FileDiskManager":
+    def open(
+        cls,
+        directory: Union[str, os.PathLike],
+        faults: Optional["FaultInjector"] = None,
+    ) -> "FileDiskManager":
         """Re-open a directory previously written by :meth:`sync`."""
         directory = pathlib.Path(directory)
         meta = json.loads((directory / META_FILE).read_text())
-        disk = cls(meta["page_size"], directory)
+        # A leftover temp file is a sync that crashed before going live;
+        # its contents were never the authoritative state.
+        tmp_path = directory / META_TMP_FILE
+        if tmp_path.exists():
+            tmp_path.unlink()
+        disk = cls(meta["page_size"], directory, faults=faults)
         disk._allocated = set(meta["allocated"])
         disk._free = list(meta["free"])
         disk._next_id = meta["next_id"]
         return disk
 
     def sync(self) -> None:
-        """Flush the page file and persist the allocation state."""
+        """Flush the page file and persist the allocation state.
+
+        The metadata write is crash-safe: the new ``disk.json`` is
+        written to a temp file, fsynced, and moved into place with
+        ``os.replace`` (atomic on POSIX and Windows), so a crash during
+        a sync can never leave torn or partially written metadata — a
+        reopen sees either the previous state or the new one, complete.
+        """
         if self._obs_syncs is not None:
             self._obs_syncs.inc()
         self._file.flush()
         os.fsync(self._file.fileno())
-        (self.directory / META_FILE).write_text(
-            json.dumps(
-                {
-                    "page_size": self.page_size,
-                    "allocated": sorted(self._allocated),
-                    "free": self._free,
-                    "next_id": self._next_id,
-                }
-            )
+        if self.faults is not None:
+            # Crash window: pages durable, metadata not yet touched.
+            self.faults.fire("disk.sync.data")
+        payload = json.dumps(
+            {
+                "page_size": self.page_size,
+                "allocated": sorted(self._allocated),
+                "free": self._free,
+                "next_id": self._next_id,
+            }
         )
+        tmp_path = self.directory / META_TMP_FILE
+        with open(tmp_path, "w") as tmp:
+            tmp.write(payload)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        if self.faults is not None:
+            # Crash window: new metadata fully written but not yet live;
+            # disk.json must still hold the previous complete state.
+            self.faults.fire("disk.meta.tmp")
+        os.replace(tmp_path, self.directory / META_FILE)
 
     def close(self) -> None:
         self.sync()

@@ -15,6 +15,14 @@ is charged whenever a page fills up, or immediately when a record is
 force-flushed (Option III pays exactly the "+1" I/O per update of the cost
 model in Section 4.2.3).  Reading the log back during recovery charges
 ``log_reads`` proportional to the pages scanned.
+
+Durability model: a record is durable once every one of its bytes has
+reached a flushed page — either because appends filled the page, or
+because a ``force=True`` append flushed the open page.  The log tracks
+that durable prefix, and :meth:`crash_truncate` discards everything
+behind it, which is exactly what a crash does to a real log device: the
+fault-injection harness arms a crash between "record appended in memory"
+and "force completed" and the record must be gone after reopen.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from .faults import FaultInjector
 
 #: Simulated on-disk size of one Update-Memo entry (the paper's ``E``):
 #: oid (8) + S_latest (8) + N_old (4), padded.
@@ -57,14 +66,23 @@ class LogRecord:
 class WriteAheadLog:
     """Append-only log with page-granular I/O accounting."""
 
-    def __init__(self, page_size: int, stats: IOStats):
+    def __init__(
+        self,
+        page_size: int,
+        stats: IOStats,
+        faults: Optional["FaultInjector"] = None,
+    ):
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
         self.stats = stats
+        self.faults = faults
         self._records: List[LogRecord] = []
         self._current_fill = 0
         self._next_lsn = 0
+        #: Records known to be on stable storage (prefix length); the
+        #: suffix beyond it dies with the process — see crash_truncate().
+        self._durable_count = 0
         self._obs = None
         self._obs_appends = None
         self._obs_forced = None
@@ -96,6 +114,12 @@ class WriteAheadLog:
         """
         if nbytes <= 0:
             raise ValueError("record size must be positive")
+        faults = self.faults
+        if faults is not None:
+            # Crash window: the record never enters the log at all.
+            faults.fire(
+                "wal.checkpoint" if kind == "checkpoint" else "wal.append"
+            )
         record = LogRecord(self._next_lsn, kind, payload, nbytes)
         self._next_lsn += 1
         self._records.append(record)
@@ -103,23 +127,43 @@ class WriteAheadLog:
             self._obs_appends.inc()
 
         remaining = nbytes
+        pages_written = False
         while self._current_fill + remaining >= self.page_size:
             # The current page fills up (possibly several times for a large
             # record such as a UM checkpoint) -> one write per full page.
             remaining -= self.page_size - self._current_fill
             self._current_fill = 0
+            pages_written = True
             self.stats.log_writes += 1
             if self._obs_page_writes is not None:
                 self._obs_page_writes.inc()
         self._current_fill += remaining
+        if pages_written:
+            # Everything behind the flushed page boundary is durable; the
+            # record itself only if it ended exactly on the boundary.
+            self._durable_count = (
+                len(self._records)
+                if self._current_fill == 0
+                else len(self._records) - 1
+            )
 
-        if force and self._current_fill > 0:
-            self.stats.log_writes += 1
-            # The page stays open for further appends; forcing it again
-            # later costs another write, as in a real log device.
+        if force:
+            if faults is not None:
+                # Crash window: record appended in memory, force not yet
+                # durable (unless the page boundary already flushed it).
+                faults.fire("wal.force")
+            if self._current_fill > 0:
+                self.stats.log_writes += 1
+                # The page stays open for further appends; forcing it again
+                # later costs another write, as in a real log device.
+                if self._obs_page_writes is not None:
+                    self._obs_page_writes.inc()
+            # A force whose record exactly filled the page was already
+            # flushed by the page write above — no extra I/O, but it still
+            # counts as a forced flush (the caller demanded durability).
             if self._obs_forced is not None:
                 self._obs_forced.inc()
-                self._obs_page_writes.inc()
+            self._durable_count = len(self._records)
         return record
 
     def append_memo_change(self, oid: int, stamp: int,
@@ -155,6 +199,12 @@ class WriteAheadLog:
                 return record
         return None
 
+    def checkpoint_count(self) -> int:
+        """Number of checkpoint records currently in the log (no I/O
+        charged — bookkeeping for the crash-simulation harness, which
+        cross-checks it against the checkpoints the workload committed)."""
+        return sum(1 for r in self._records if r.kind == "checkpoint")
+
     def read_from(self, lsn: int) -> List[LogRecord]:
         """Return all records with ``record.lsn >= lsn``; charges
         ``log_reads`` for the pages occupied by the returned records."""
@@ -163,7 +213,38 @@ class WriteAheadLog:
         self.stats.log_reads += -(-total // self.page_size) if total else 0
         return selected
 
+    def read_record(self, record: LogRecord) -> LogRecord:
+        """Charge ``log_reads`` for exactly one record's pages.
+
+        Option II recovery reads only the checkpoint record — billing it
+        via :meth:`read_from` would also charge the whole post-checkpoint
+        log tail it never looks at.
+        """
+        self.stats.log_reads += -(-record.nbytes // self.page_size)
+        return record
+
+    # -- crash model ---------------------------------------------------------
+
+    def crash_truncate(self) -> int:
+        """Discard every record that never became durable.
+
+        Models what a crash leaves on the log device: records whose bytes
+        were all inside flushed pages (or covered by a completed force)
+        survive; the in-memory suffix dies with the process.  Returns the
+        number of records lost.
+        """
+        lost = len(self._records) - self._durable_count
+        if lost:
+            del self._records[self._durable_count:]
+        total = sum(r.nbytes for r in self._records)
+        self._current_fill = total % self.page_size
+        return lost
+
     # -- introspection -------------------------------------------------------------
+
+    def durable_records(self) -> int:
+        """Length of the durable record prefix (see crash_truncate)."""
+        return self._durable_count
 
     def __len__(self) -> int:
         return len(self._records)

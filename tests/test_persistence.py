@@ -143,6 +143,66 @@ class TestFURSpecifics:
         assert_search_matches_oracle(loaded, positions)
 
 
+class TestAllocationState:
+    def test_free_list_survives_save_load(self, tmp_path):
+        """save_tree used to drop the source disk's free list, leaking
+        every freed page id forever across save/load cycles."""
+        tree = build_rstar_tree(node_size=SMALL_NODE)
+        positions = populate(tree, 150, seed=230)
+        # Physically delete most objects: leaf condensation frees pages.
+        for oid in sorted(positions)[:120]:
+            tree.delete_object(oid, positions.pop(oid))
+        source = tree.buffer.disk
+        assert source._free, "workload must free pages for this test"
+        free_before = sorted(source._free)
+        next_before = source._next_id
+
+        save_tree(tree, tmp_path)
+        loaded = load_tree(tmp_path)
+        disk = loaded.buffer.disk
+        assert sorted(disk._free) == free_before
+        assert disk._next_id == next_before
+        # A fresh allocation recycles a freed id instead of growing the
+        # page file past ids that were already handed out once.
+        assert disk.allocate() in free_before
+
+    def test_saved_pages_carry_checksums(self, tmp_path):
+        from repro.crashsim import verify_pages
+        from repro.storage.codec import CHECKSUM_OFFSET, NodeCodec
+
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        populate(tree, 60, seed=231)
+        save_tree(tree, tmp_path)
+        disk = FileDiskManager.open(tmp_path)
+        codec = NodeCodec(SMALL_NODE, rum_leaves=True, checksums=True)
+        assert verify_pages(disk, codec) == []
+        for page_id in disk.page_ids():
+            crc = disk.peek(page_id)[CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4]
+            assert crc != b"\x00" * 4
+        disk._file.close()
+
+    def test_flipped_byte_detected_on_reload(self, tmp_path):
+        from repro.storage.codec import PageChecksumError
+
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        positions = populate(tree, 60, seed=232)
+        save_tree(tree, tmp_path)
+
+        disk = FileDiskManager.open(tmp_path)
+        victim = next(iter(disk.page_ids()))
+        page = bytearray(disk.peek(victim))
+        page[SMALL_NODE // 2] ^= 0x01
+        disk._write_raw(victim, bytes(page))
+        disk._file.flush()
+        disk._file.close()
+
+        loaded = load_tree(tmp_path)
+        with pytest.raises(PageChecksumError):
+            loaded.search(Rect(0.0, 0.0, 1.0, 1.0))
+            for _ in loaded.iter_leaf_entries():
+                pass
+
+
 class TestErrors:
     def test_unknown_type_rejected(self, tmp_path):
         with pytest.raises(TypeError):

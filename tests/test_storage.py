@@ -280,6 +280,80 @@ class TestWriteAheadLog:
         assert len(wal) == 2
         assert wal.total_bytes() == 48
 
+    # -- page-accounting edge cases and the durable prefix ---------------
+
+    def test_record_exactly_filling_a_page(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.append("memo", None, 100)
+        assert stats.log_writes == 1
+        # The record ended exactly on the page boundary, so the page
+        # write already made it durable.
+        assert wal.durable_records() == 1
+        assert wal.crash_truncate() == 0
+
+    def test_force_on_exactly_full_page_charges_no_extra_write(self):
+        from repro.obs import Observability
+
+        obs = Observability(level="metrics")
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.attach_obs(obs)
+        wal.append("memo", None, 100, force=True)
+        # The page-boundary write already flushed everything: forcing
+        # again would be a lie in the I/O ledger...
+        assert stats.log_writes == 1
+        # ...but the caller still demanded durability, so the forced-
+        # flush telemetry counts it (it used to be skipped).
+        assert obs.registry.counter("wal.forced_flushes").value == 1
+        assert wal.durable_records() == 1
+
+    def test_multi_page_checkpoint_write_and_read_charges(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        snapshot = [(i, i, 1) for i in range(12)]  # 32 + 288 bytes
+        record = wal.append_checkpoint(snapshot, 99)
+        assert record.nbytes == 320
+        # Three pages filled plus the forced flush of the open tail.
+        assert stats.log_writes == 4
+        stats.reset()
+        wal.read_record(record)
+        assert stats.log_reads == -(-record.nbytes // 100)
+        stats.reset()
+        assert wal.read_from(0) == [record]
+        assert stats.log_reads == -(-record.nbytes // 100)
+
+    def test_unforced_tail_dies_in_a_crash(self):
+        stats = IOStats()
+        wal = WriteAheadLog(100, stats)
+        wal.append("memo", "durable", 60)
+        wal.append("memo", "also-durable", 60)  # fills page one
+        wal.append("memo", "volatile", 10)
+        assert wal.durable_records() == 1
+        assert wal.crash_truncate() == 2
+        assert [r.payload for r in wal.read_from(0)] == ["durable"]
+        # The open page's fill is recomputed from the surviving bytes,
+        # so post-crash appends account correctly.
+        stats.reset()
+        wal.append("memo", None, 40)
+        assert stats.log_writes == 1  # 60 + 40 closes the page
+
+    def test_force_makes_everything_durable(self):
+        wal = WriteAheadLog(100, IOStats())
+        wal.append("memo", None, 30)
+        wal.append("memo", None, 30, force=True)
+        assert wal.durable_records() == 2
+        assert wal.crash_truncate() == 0
+        assert len(wal) == 2
+
+    def test_checkpoint_count(self):
+        wal = WriteAheadLog(1000, IOStats())
+        assert wal.checkpoint_count() == 0
+        wal.append_memo_change(1, 1)
+        wal.append_checkpoint([], 5)
+        wal.append_checkpoint([], 9)
+        assert wal.checkpoint_count() == 2
+
 
 class TestResidentLeafLRU:
     """The optional cross-operation leaf cache (buffer ablation)."""
