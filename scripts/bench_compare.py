@@ -8,8 +8,10 @@ Usage::
 
 Prints one line per metric with the throughput ratio.  A metric regresses
 when its current ops/sec falls more than ``threshold`` (default 10%)
-below the baseline; any regression makes the script exit non-zero so CI
-can gate on it.  Metrics present in only one file are reported but never
+below the baseline.  By default the script is report-only (exit 0 either
+way, so local runs on noisy machines never fail); with
+``--fail-on-regress`` any regression makes it exit non-zero so CI can
+gate on it.  Metrics present in only one file are reported but never
 fail the comparison (the suite is allowed to grow).
 
 ``--json PATH`` additionally writes a machine-readable report::
@@ -134,6 +136,12 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write the comparison as machine-readable JSON",
     )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit non-zero when any metric regressed (CI gate); "
+        "without it the comparison is report-only",
+    )
     args = parser.parse_args(argv)
     report = compare(
         load_report(args.baseline), load_report(args.current), args.threshold
@@ -149,7 +157,7 @@ def main(argv=None) -> int:
         f"{args.threshold * 100:.0f}% across {len(report['metrics'])} "
         f"metric(s)"
     )
-    return 1 if regressions else 0
+    return 1 if regressions and args.fail_on_regress else 0
 
 
 if __name__ == "__main__":

@@ -190,6 +190,10 @@ class ConcurrentHarness:
                     cursor["next"] = i + 1
                 try:
                     self.perform(operations[i])
+                # Worker threads must capture every failure (including
+                # SimulatedCrash) so the coordinator can re-raise the
+                # first one after joining; nothing is swallowed.
+                # lint: disable=REP001
                 except BaseException as exc:  # surfaced after the join
                     errors.append(exc)
                     return

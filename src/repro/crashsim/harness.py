@@ -71,6 +71,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 from repro.core.recovery import RECOVERY_PROCEDURES, RecoveryReport
 from repro.core.rum import RUMTree
 from repro.core.memo import LATEST
+from repro.lint.invariants import InvariantViolation, check_tree
 from repro.rtree.geometry import Rect
 from repro.storage.buffer import BufferPool
 from repro.storage.codec import NodeCodec, PageChecksumError
@@ -494,8 +495,17 @@ def _recover_and_verify(
         checks.append("durable log prefix matches committed checkpoints")
 
     report = RECOVERY_PROCEDURES[scenario.option](tree2)
-    tree2.check_invariants()
-    checks.append("structural invariants hold")
+    # Full structural + memo/stamp validation (not just lost/ghost
+    # objects): MBR containment, fanout bounds, leaf ring, Lemma-1 memo
+    # consistency, stamp monotonicity.
+    try:
+        check_tree(tree2)
+    except InvariantViolation as exc:
+        raise CrashSimError(
+            f"{scenario.name}: structural invariant violated after "
+            f"Option {scenario.option} recovery: {exc}"
+        ) from exc
+    checks.append("structural and memo invariants hold")
 
     live = _verify_recovered_state(
         scenario, tree2, oracle, ckpt_deleted, pending, checks

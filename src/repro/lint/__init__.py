@@ -1,0 +1,38 @@
+"""Static analysis and runtime invariant validation for the repro tree.
+
+Two halves:
+
+* the **linter** — a dependency-free AST rule engine
+  (``python -m repro.lint src/``) enforcing the project conventions
+  introduced by earlier PRs; see :mod:`repro.lint.rules` and
+  ``docs/LINT.md``;
+* the **invariant validator** — :func:`check_tree`, a runtime oracle for
+  the trees' structural invariants, used by ``check_invariants()``, the
+  test suite, and the crash-simulation harness.
+"""
+
+from .diagnostics import Diagnostic, SuppressionIndex
+from .engine import (
+    SYNTAX_ERROR_ID,
+    FileContext,
+    LintRule,
+    all_rules,
+    collect_files,
+    register,
+    run_lint,
+)
+from .invariants import InvariantViolation, check_tree
+
+__all__ = [
+    "Diagnostic",
+    "SuppressionIndex",
+    "SYNTAX_ERROR_ID",
+    "FileContext",
+    "LintRule",
+    "all_rules",
+    "collect_files",
+    "register",
+    "run_lint",
+    "InvariantViolation",
+    "check_tree",
+]

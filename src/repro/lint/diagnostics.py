@@ -1,0 +1,82 @@
+"""Diagnostic objects and suppression-comment handling.
+
+A diagnostic pins one rule violation to a file/line/column.  Violations
+can be silenced per rule with suppression comments:
+
+* ``# lint: disable=REP001`` (trailing on the flagged line, or standing
+  alone on the line directly above it) silences that rule for the line;
+* ``# lint: disable-file=REP001`` anywhere in the file silences the rule
+  for the whole file.
+
+Several rule ids may be given separated by commas.  Suppressions are
+intentionally *per rule*: there is no blanket ``disable=all``, so every
+silenced finding names exactly what it silences — the justification can
+ride along in the same comment after the rule list.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+#: ``# lint: disable=REP001,REP005  optional free-text justification``
+_LINE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def _parse_ids(blob: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in blob.split(",") if part.strip())
+
+
+class SuppressionIndex:
+    """Which rules are silenced on which lines of one file."""
+
+    def __init__(self, lines: Sequence[str]):
+        per_line: Dict[int, Set[str]] = {}
+        file_wide: Set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            match = _FILE_RE.search(text)
+            if match:
+                file_wide |= _parse_ids(match.group(1))
+                continue
+            match = _LINE_RE.search(text)
+            if not match:
+                continue
+            ids = _parse_ids(match.group(1))
+            per_line.setdefault(lineno, set()).update(ids)
+            if text.lstrip().startswith("#"):
+                # A standalone suppression comment covers the next line.
+                per_line.setdefault(lineno + 1, set()).update(ids)
+        self._per_line = per_line
+        self._file_wide = frozenset(file_wide)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_wide:
+            return True
+        return rule_id in self._per_line.get(line, ())
+
+    def filter(self, diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+        return [
+            d
+            for d in diagnostics
+            if not self.is_suppressed(d.rule_id, d.line)
+        ]
+
+
+def sort_key(diag: Diagnostic) -> Tuple[str, int, int, str]:
+    return (diag.path, diag.line, diag.col, diag.rule_id)

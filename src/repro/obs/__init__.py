@@ -37,7 +37,10 @@ Levels
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.iostats import IOStats
 
 from .events import (
     EventSink,
@@ -76,7 +79,7 @@ class Observability:
         level: str = "trace",
         sink: Optional[EventSink] = None,
         registry: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if level not in LEVELS:
             raise ValueError(
                 f"unknown obs level {level!r}; expected one of {LEVELS}"
@@ -88,7 +91,9 @@ class Observability:
         self.debug = level == "debug"
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink: EventSink = sink if sink is not None else NullEventSink()
-        self.tracer = Tracer(self.sink) if self.tracing else NULL_TRACER
+        self.tracer: Union[Tracer, NullTracer] = (
+            Tracer(self.sink) if self.tracing else NULL_TRACER
+        )
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -97,14 +102,16 @@ class Observability:
 
     # -- convenience pass-throughs ----------------------------------------
 
-    def span(self, name: str, io=None, **attrs):
+    def span(
+        self, name: str, io: Optional["IOStats"] = None, **attrs: Any
+    ) -> Union[Span, NullSpan]:
         """A tracer span (inert below the ``trace`` level)."""
         return self.tracer.span(name, io=io, **attrs)
 
-    def event(self, event_type: str, **fields) -> None:
+    def event(self, event_type: str, **fields: Any) -> None:
         """Emit one structured event (dropped below ``trace``)."""
         if self.tracing:
-            event: Dict = {"type": event_type, "ts": time.time()}
+            event: Dict[str, Any] = {"type": event_type, "ts": time.time()}
             event.update(fields)
             self.sink.emit(event)
 

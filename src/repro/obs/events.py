@@ -13,13 +13,13 @@ import json
 import logging
 import os
 import pathlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 
 class EventSink:
     """Interface: receive one event dict."""
 
-    def emit(self, event: Dict) -> None:  # pragma: no cover - interface
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def close(self) -> None:
@@ -29,7 +29,7 @@ class EventSink:
 class NullEventSink(EventSink):
     """Discards everything (placeholder when only metrics are wanted)."""
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         pass
 
 
@@ -37,12 +37,12 @@ class ListEventSink(EventSink):
     """Collects events in memory — tests and the exactness checks use it."""
 
     def __init__(self) -> None:
-        self.events: List[Dict] = []
+        self.events: List[Dict[str, Any]] = []
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         self.events.append(event)
 
-    def of_type(self, event_type: str) -> List[Dict]:
+    def of_type(self, event_type: str) -> List[Dict[str, Any]]:
         return [e for e in self.events if e.get("type") == event_type]
 
 
@@ -54,19 +54,21 @@ class JsonlEventSink(EventSink):
     flushes and closes only streams this sink opened itself.
     """
 
-    def __init__(self, target: Union[str, os.PathLike, io.TextIOBase]):
-        self._own_file = not hasattr(target, "write")
-        if self._own_file:
+    def __init__(
+        self, target: Union[str, "os.PathLike[str]", io.TextIOBase]
+    ) -> None:
+        self._own_file = isinstance(target, (str, os.PathLike))
+        if isinstance(target, (str, os.PathLike)):
             path = pathlib.Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = open(path, "a", encoding="utf-8")
+            self._file: io.TextIOBase = open(path, "a", encoding="utf-8")
             self.path: Optional[pathlib.Path] = path
         else:
             self._file = target
             self.path = None
         self.emitted = 0
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         self._file.write(json.dumps(event, sort_keys=True) + "\n")
         self.emitted += 1
 
@@ -88,10 +90,10 @@ class LoggingEventSink(EventSink):
     unchanged.
     """
 
-    def __init__(self, logger: Optional[logging.Logger] = None):
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
         self.logger = logger or logging.getLogger("repro.obs")
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         if self.logger.isEnabledFor(logging.DEBUG):
             payload = {k: v for k, v in event.items() if k != "type"}
             self.logger.debug(
@@ -105,10 +107,10 @@ class LoggingEventSink(EventSink):
 class TeeEventSink(EventSink):
     """Fans one event out to several sinks (JSONL file + debug log)."""
 
-    def __init__(self, sinks: Sequence[EventSink]):
+    def __init__(self, sinks: Sequence[EventSink]) -> None:
         self.sinks = list(sinks)
 
-    def emit(self, event: Dict) -> None:
+    def emit(self, event: Dict[str, Any]) -> None:
         for sink in self.sinks:
             sink.emit(event)
 

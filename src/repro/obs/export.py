@@ -56,13 +56,13 @@ def prometheus_text(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:
 
 def write_prometheus(
     source: Union[MetricsRegistry, MetricsSnapshot],
-    path: Union[str, os.PathLike],
+    path: Union[str, "os.PathLike[str]"],
 ) -> pathlib.Path:
     """Write the exposition text to ``path`` (parents created)."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_text(source))
-    return path
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(prometheus_text(source))
+    return out
 
 
 def metrics_json(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:

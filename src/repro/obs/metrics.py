@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -34,7 +34,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -55,7 +55,7 @@ class Gauge:
 
     __slots__ = ("name", "value", "_fn")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self._fn: Optional[Callable[[], float]] = None
@@ -92,7 +92,9 @@ class Histogram:
         0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0,
     )
 
-    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
         bounds = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -158,7 +160,7 @@ class MetricsSnapshot:
             name: value - other.counters.get(name, 0)
             for name, value in self.counters.items()
         }
-        histograms = {}
+        histograms: Dict[str, HistogramSnapshot] = {}
         for name, hist in self.histograms.items():
             prev = other.histograms.get(name)
             histograms[name] = hist - prev if prev is not None else hist
@@ -166,7 +168,7 @@ class MetricsSnapshot:
             counters=counters, gauges=dict(self.gauges), histograms=histograms
         )
 
-    def as_dict(self) -> Dict:
+    def as_dict(self) -> Dict[str, Any]:
         """Plain-data form for JSON export."""
         return {
             "counters": dict(self.counters),
@@ -197,7 +199,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def _check_unique(self, name: str, kind: Dict) -> None:
+    def _check_unique(self, name: str, kind: Mapping[str, object]) -> None:
         for store in (self._counters, self._gauges, self._histograms):
             if store is not kind and name in store:
                 raise ValueError(

@@ -19,7 +19,8 @@ allocate nothing — and the instrumented hot paths additionally guard on
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
 
 from .events import EventSink
 
@@ -49,8 +50,8 @@ class Span:
         tracer: "Tracer",
         name: str,
         io: Optional["IOStats"] = None,
-        attrs: Optional[Dict] = None,
-    ):
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self._tracer = tracer
@@ -70,10 +71,16 @@ class Span:
         self.started_at = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.duration_s = time.perf_counter() - self.started_at
-        if self._io_before is not None:
-            self.io_delta = self._io_stats.snapshot() - self._io_before
+        io_stats = self._io_stats
+        if io_stats is not None and self._io_before is not None:
+            self.io_delta = io_stats.snapshot() - self._io_before
         self._tracer._pop(self, failed=exc_type is not None)
         return False
 
@@ -89,7 +96,12 @@ class NullSpan:
     def __enter__(self) -> "NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -103,7 +115,9 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, io=None, **attrs) -> NullSpan:
+    def span(
+        self, name: str, io: Optional["IOStats"] = None, **attrs: Any
+    ) -> NullSpan:
         return _NULL_SPAN
 
 
@@ -125,12 +139,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sink: Optional[EventSink] = None):
+    def __init__(self, sink: Optional[EventSink] = None) -> None:
         self.sink = sink
         self._stack: List[Span] = []
         self._next_seq = 0
 
-    def span(self, name: str, io: Optional["IOStats"] = None, **attrs) -> Span:
+    def span(
+        self, name: str, io: Optional["IOStats"] = None, **attrs: Any
+    ) -> Span:
         return Span(self, name, io=io, attrs=attrs or None)
 
     @property
@@ -155,7 +171,7 @@ class Tracer:
                 break
         if self.sink is None:
             return
-        event: Dict = {
+        event: Dict[str, Any] = {
             "type": "span",
             "name": span.name,
             "ts": time.time(),

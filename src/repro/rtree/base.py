@@ -694,60 +694,12 @@ class RTreeBase:
     # -- structural invariants (used heavily by the test suite) -----------
 
     def check_invariants(self) -> None:
-        """Raise ``AssertionError`` on any structural violation."""
-        root = self._peek_node(self.root_id)
-        leaf_depths: Set[int] = set()
-        leaf_ids: List[int] = []
+        """Validate structure; raises ``InvariantViolation`` (an
+        ``AssertionError`` subclass) on any violation.
 
-        def visit(node: Node, depth: int) -> Rect:
-            if node.is_leaf:
-                leaf_depths.add(depth)
-                leaf_ids.append(node.page_id)
-            if node.page_id != self.root_id:
-                cap = self.leaf_cap if node.is_leaf else self.index_cap
-                minimum = self.min_leaf if node.is_leaf else self.min_index
-                assert minimum <= len(node.entries) <= cap, (
-                    f"node {node.page_id}: {len(node.entries)} entries "
-                    f"outside [{minimum}, {cap}]"
-                )
-            if not node.is_leaf:
-                for entry in node.entries:
-                    assert self.parent.get(entry.child_id) == node.page_id, (
-                        f"parent directory stale for child {entry.child_id}"
-                    )
-                    child = self._peek_node(entry.child_id)
-                    child_mbr = visit(child, depth + 1)
-                    assert entry.rect == child_mbr, (
-                        f"directory MBR of child {entry.child_id} is stale"
-                    )
-            return node.mbr()
+        Delegates to :func:`repro.lint.invariants.check_tree`, which also
+        runs the memo/stamp consistency checks on RUM trees.
+        """
+        from repro.lint.invariants import check_tree
 
-        if root.entries:
-            visit(root, 0)
-            assert len(leaf_depths) <= 1, "tree is not height-balanced"
-            if leaf_depths:
-                assert leaf_depths == {self.height - 1}, (
-                    f"height {self.height} but leaves at depth {leaf_depths}"
-                )
-        if self.maintain_leaf_ring and leaf_ids:
-            self._check_ring(set(leaf_ids))
-
-    def _check_ring(self, expected: Set[int]) -> None:
-        start = next(iter(expected))
-        seen: Set[int] = set()
-        current = start
-        for _ in range(len(expected) + 1):
-            assert current in expected, f"ring visits foreign page {current}"
-            assert current not in seen, f"ring revisits page {current}"
-            seen.add(current)
-            node = self._peek_node(current)
-            successor = self._peek_node(node.next_leaf)
-            assert successor.prev_leaf == current, (
-                f"ring back-pointer broken at {node.next_leaf}"
-            )
-            current = node.next_leaf
-            if current == start:
-                break
-        assert seen == expected, (
-            f"ring covers {len(seen)} of {len(expected)} leaves"
-        )
+        check_tree(self)

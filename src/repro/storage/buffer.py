@@ -31,11 +31,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
-from .disk import DiskManager
+from .disk import PageStore
 from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
     from repro.rtree.node import Node
 
     from .codec import NodeCodec
@@ -54,11 +55,11 @@ class BufferPool:
 
     def __init__(
         self,
-        disk: DiskManager,
+        disk: PageStore,
         codec: "NodeCodec",
         stats: IOStats,
         leaf_cache_pages: int = 0,
-    ):
+    ) -> None:
         if disk.page_size != codec.node_size:
             raise ValueError(
                 f"disk page size {disk.page_size} != codec node size "
@@ -80,10 +81,10 @@ class BufferPool:
         self._lru_dirty: Set[int] = set()
         self._op_depth = 0
         # Telemetry counters bound by attach_obs(); None = disabled.
-        self._obs_hits = None
-        self._obs_misses = None
-        self._obs_evictions = None
-        self._obs_write_backs = None
+        self._obs_hits: Optional[Counter] = None
+        self._obs_misses: Optional[Counter] = None
+        self._obs_evictions: Optional[Counter] = None
+        self._obs_write_backs: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: cache hits/misses, evictions, write-backs.

@@ -69,7 +69,7 @@ checksums that happen to be 0 are remapped so 0 is never written.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 from zlib import crc32
 
 from repro.rtree.geometry import Rect
@@ -88,7 +88,11 @@ from repro.rtree.node import (
 
 _HEADER_FMT = "BxHxxxxqqI4x"
 _HEADER = struct.Struct("<" + _HEADER_FMT)
-assert _HEADER.size == NODE_HEADER_BYTES
+if _HEADER.size != NODE_HEADER_BYTES:
+    raise RuntimeError(
+        f"header format {_HEADER_FMT!r} packs {_HEADER.size} bytes, "
+        f"expected NODE_HEADER_BYTES={NODE_HEADER_BYTES}"
+    )
 
 #: Byte offset of the crc32 checksum field inside the page header.
 CHECKSUM_OFFSET = 24
@@ -126,7 +130,11 @@ def _page_struct(
         kernel = _PAGE_CACHE[key] = struct.Struct(
             f"<{_HEADER_FMT}{fmt * count}{pad}x"
         )
-        assert kernel.size == node_size
+        if kernel.size != node_size:
+            raise RuntimeError(
+                f"page kernel for {count}x{fmt!r} packs {kernel.size} "
+                f"bytes, expected the page size {node_size}"
+            )
     return kernel
 
 
@@ -142,7 +150,7 @@ class PageChecksumError(RuntimeError):
     header and garbage entries.
     """
 
-    def __init__(self, page_id: int, stored: int, computed: int):
+    def __init__(self, page_id: int, stored: int, computed: int) -> None:
         super().__init__(
             f"page {page_id}: checksum mismatch "
             f"(stored {stored:#010x}, computed {computed:#010x}) — "
@@ -223,7 +231,7 @@ class NodeCodec:
         node_size: int,
         rum_leaves: bool = False,
         checksums: bool = False,
-    ):
+    ) -> None:
         if node_size < 128:
             raise ValueError(f"node size {node_size} is unrealistically small")
         self.node_size = node_size
@@ -248,7 +256,7 @@ class NodeCodec:
             )
         # The checksum field is packed as 0 and stamped afterwards (the
         # crc covers the fully assembled page).
-        flat: List = [
+        flat: List[Any] = [
             1 if node.is_leaf else 0, count, node.prev_leaf, node.next_leaf, 0
         ]
         if node.is_leaf:
@@ -319,7 +327,9 @@ class NodeCodec:
         checksum (legacy pages with a stored checksum of 0 pass)."""
         _verify_or_raise(page_id, data)
 
-    def decode_entries(self, is_leaf: bool, count: int, data: bytes) -> List:
+    def decode_entries(
+        self, is_leaf: bool, count: int, data: bytes
+    ) -> List[Any]:
         """Materialise the entry list of a page in one pass.
 
         Shared by the eager decode and the lazy thaw, so both paths build
@@ -330,7 +340,7 @@ class NodeCodec:
         """
         if not count:
             return []
-        out: List = []
+        out: List[Any] = []
         append = out.append
         if is_leaf:
             new_rect = Rect.__new__

@@ -12,10 +12,48 @@ the tree" after a simulated crash.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
+
+
+class PageStore(Protocol):
+    """The structural interface every page store exposes.
+
+    :class:`DiskManager`, :class:`~repro.storage.filedisk.FileDiskManager`
+    and :class:`~repro.storage.faults.FaultyDisk` all satisfy it, so the
+    buffer pool and the fault-injection wrapper can accept any of them
+    interchangeably.
+    """
+
+    @property
+    def page_size(self) -> int: ...
+
+    @property
+    def reads(self) -> int: ...
+
+    @property
+    def writes(self) -> int: ...
+
+    def allocate(self) -> int: ...
+
+    def free(self, page_id: int) -> None: ...
+
+    def read_page(self, page_id: int) -> bytes: ...
+
+    def peek(self, page_id: int) -> bytes: ...
+
+    def write_page(self, page_id: int, data: bytes) -> None: ...
+
+    def is_allocated(self, page_id: int) -> bool: ...
+
+    def page_ids(self) -> Iterator[int]: ...
+
+    def num_pages(self) -> int: ...
+
+    def total_bytes(self) -> int: ...
 
 #: Shared all-zero page images, one per page size.  Allocation is on the
 #: update hot path (every split allocates), so freshly allocated pages
@@ -44,7 +82,7 @@ class DiskManager:
     of Section 3.4.
     """
 
-    def __init__(self, page_size: int):
+    def __init__(self, page_size: int) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
@@ -55,10 +93,10 @@ class DiskManager:
         self.writes = 0
         # Telemetry counters bound by attach_obs(); None = disabled, so
         # the hot-path cost without observability is a single None check.
-        self._obs_reads = None
-        self._obs_writes = None
-        self._obs_allocs = None
-        self._obs_frees = None
+        self._obs_reads: Optional[Counter] = None
+        self._obs_writes: Optional[Counter] = None
+        self._obs_allocs: Optional[Counter] = None
+        self._obs_frees: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind (or with ``None``/level ``off``, unbind) telemetry.

@@ -46,10 +46,13 @@ The registered fault points:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+from .disk import PageStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
 
 #: Every fault point the storage stack fires, in rough workload order.
 #: The crash-matrix harness iterates this tuple; adding an instrumented
@@ -77,7 +80,7 @@ class SimulatedCrash(BaseException):
     (or a test) that armed the injector catches it.
     """
 
-    def __init__(self, point: str):
+    def __init__(self, point: str) -> None:
         super().__init__(f"simulated crash at fault point {point!r}")
         self.point = point
 
@@ -92,7 +95,7 @@ class FaultInjector:
     same injector for the post-crash verification phase.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.point: Optional[str] = None
         self.mode = "crash"
         self.skip = 0
@@ -102,7 +105,7 @@ class FaultInjector:
         #: occurrences seen per point since the last ``arm`` (all points
         #: are counted, armed or not — useful for scenario discovery).
         self.hits: Dict[str, int] = {}
-        self._obs_fired = None
+        self._obs_fired: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry (``faults.fired`` counter)."""
@@ -213,7 +216,7 @@ class FaultyDisk:
     a buffer pool runs over the wrapper unchanged.
     """
 
-    def __init__(self, inner, faults: FaultInjector):
+    def __init__(self, inner: PageStore, faults: FaultInjector) -> None:
         self.inner = inner
         self.faults = faults
 
@@ -222,8 +225,10 @@ class FaultyDisk:
     def write_page(self, page_id: int, data: bytes) -> None:
         faults = self.faults
         point = faults.point
-        if point in ("disk.page_write", "disk.page_torn") and (
-            faults.should_trigger(point)
+        if (
+            point is not None
+            and point in ("disk.page_write", "disk.page_torn")
+            and faults.should_trigger(point)
         ):
             if faults.mode == "corrupt":
                 # Silent misdirected write: damaged bytes, no crash.
@@ -256,7 +261,7 @@ class FaultyDisk:
     def writes(self) -> int:
         return self.inner.writes
 
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
         self.faults.attach_obs(obs)
         attach = getattr(self.inner, "attach_obs", None)
         if attach is not None:

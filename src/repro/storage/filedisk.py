@@ -26,12 +26,13 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Union
+from typing import TYPE_CHECKING, BinaryIO, Iterator, List, Optional, Set, Union
 
 from .disk import PageNotAllocatedError, zero_page
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
     from .faults import FaultInjector
 
 PAGES_FILE = "pages.bin"
@@ -45,9 +46,9 @@ class FileDiskManager:
     def __init__(
         self,
         page_size: int,
-        directory: Union[str, os.PathLike],
+        directory: Union[str, "os.PathLike[str]"],
         faults: Optional["FaultInjector"] = None,
-    ):
+    ) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
@@ -56,15 +57,15 @@ class FileDiskManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._path = self.directory / PAGES_FILE
         mode = "r+b" if self._path.exists() else "w+b"
-        self._file = open(self._path, mode)
+        self._file: BinaryIO = open(self._path, mode)
         self._allocated: Set[int] = set()
         self._free: List[int] = []
         self._next_id = 0
         self.reads = 0
         self.writes = 0
-        self._obs_reads = None
-        self._obs_writes = None
-        self._obs_syncs = None
+        self._obs_reads: Optional[Counter] = None
+        self._obs_writes: Optional[Counter] = None
+        self._obs_syncs: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry counters (same channel names as the in-memory
@@ -84,18 +85,18 @@ class FileDiskManager:
     @classmethod
     def open(
         cls,
-        directory: Union[str, os.PathLike],
+        directory: Union[str, "os.PathLike[str]"],
         faults: Optional["FaultInjector"] = None,
     ) -> "FileDiskManager":
         """Re-open a directory previously written by :meth:`sync`."""
-        directory = pathlib.Path(directory)
-        meta = json.loads((directory / META_FILE).read_text())
+        root = pathlib.Path(directory)
+        meta = json.loads((root / META_FILE).read_text())
         # A leftover temp file is a sync that crashed before going live;
         # its contents were never the authoritative state.
-        tmp_path = directory / META_TMP_FILE
+        tmp_path = root / META_TMP_FILE
         if tmp_path.exists():
             tmp_path.unlink()
-        disk = cls(meta["page_size"], directory, faults=faults)
+        disk = cls(meta["page_size"], root, faults=faults)
         disk._allocated = set(meta["allocated"])
         disk._free = list(meta["free"])
         disk._next_id = meta["next_id"]

@@ -116,6 +116,15 @@ class IOStats:
         "log_reads",
     )
 
+    leaf_reads: int
+    leaf_writes: int
+    internal_reads: int
+    internal_writes: int
+    index_reads: int
+    index_writes: int
+    log_writes: int
+    log_reads: int
+
     def __init__(self) -> None:
         self.reset()
 

@@ -34,6 +34,7 @@ from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
     from .faults import FaultInjector
 
 #: Simulated on-disk size of one Update-Memo entry (the paper's ``E``):
@@ -71,7 +72,7 @@ class WriteAheadLog:
         page_size: int,
         stats: IOStats,
         faults: Optional["FaultInjector"] = None,
-    ):
+    ) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
@@ -83,10 +84,10 @@ class WriteAheadLog:
         #: Records known to be on stable storage (prefix length); the
         #: suffix beyond it dies with the process — see crash_truncate().
         self._durable_count = 0
-        self._obs = None
-        self._obs_appends = None
-        self._obs_forced = None
-        self._obs_page_writes = None
+        self._obs: Optional["Observability"] = None
+        self._obs_appends: Optional[Counter] = None
+        self._obs_forced: Optional[Counter] = None
+        self._obs_page_writes: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: append/force counts, page writes, log size."""

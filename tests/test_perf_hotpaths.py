@@ -292,7 +292,7 @@ class TestBenchCompare:
         base.write_text(json.dumps(self._report(a=1000.0, b=1000.0)))
         cur.write_text(json.dumps(self._report(a=400.0, b=1000.0)))
         rc = mod.main(
-            [str(base), str(cur), "--json", str(out_json)]
+            [str(base), str(cur), "--json", str(out_json), "--fail-on-regress"]
         )
         assert rc == 1
         report = json.loads(out_json.read_text())
@@ -310,9 +310,11 @@ class TestBenchCompare:
         cur = tmp_path / "cur.json"
         base.write_text(json.dumps(self._report(a=1000.0)))
         cur.write_text(json.dumps(self._report(a=999.0)))
-        assert mod.main([str(base), str(cur)]) == 0
+        assert mod.main([str(base), str(cur), "--fail-on-regress"]) == 0
         cur.write_text(json.dumps(self._report(a=500.0)))
-        assert mod.main([str(base), str(cur)]) == 1
+        # Report-only by default; --fail-on-regress turns on the gate.
+        assert mod.main([str(base), str(cur)]) == 0
+        assert mod.main([str(base), str(cur), "--fail-on-regress"]) == 1
 
 
 class TestBenchScaleParsing:
