@@ -44,6 +44,7 @@ from repro.experiments.harness import (
     bench_scale,
     load_tree,
     make_tree,
+    measure_batched_updates,
     measure_queries,
     measure_updates,
     scaled,
@@ -60,6 +61,12 @@ from repro.workload.queries import RangeQueryGenerator
 SCHEMA = "bench_micro/v1"
 NODE_SIZE = 8192
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_micro.json"
+
+#: Batch sizes swept by the batched-ingestion end-to-end metric; the
+#: headline ``end_to_end.update_batch`` is the HEADLINE_BATCH_SIZE run
+#: (the others get a size-suffixed metric name).
+BATCH_SIZES = (16, 64, 256)
+HEADLINE_BATCH_SIZE = 64
 
 
 def _timed(fn: Callable[[], None], iterations: int) -> float:
@@ -215,6 +222,36 @@ def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:
     }
 
 
+def bench_batch(metrics: Dict, obs=None) -> None:
+    """Batched ingestion: the ``end_to_end.update`` stream, but applied
+    through ``RUMTree.apply_batch`` in fixed-size groups.
+
+    Same workload, seed, tree variant and node size as
+    :func:`bench_end_to_end`, so ``end_to_end.update_batch`` divided by
+    ``end_to_end.update`` is exactly the speedup of the batched pipeline
+    (dedup + Z-order + batch scope + amortised cleaning) over per-call
+    application.
+    """
+    n = scaled(2000)
+    for size in BATCH_SIZES:
+        workload = default_network_workload(n, moving_distance=0.01, seed=11)
+        tree = make_tree("rum_touch", node_size=2048, obs=obs)
+        load_tree(tree, workload.initial())
+        m = measure_batched_updates(tree, workload, n, batch_size=size)
+        name = (
+            "end_to_end.update_batch"
+            if size == HEADLINE_BATCH_SIZE
+            else f"end_to_end.update_batch{size}"
+        )
+        metrics[name] = {
+            "ops_per_sec": (
+                m.updates / m.cpu_seconds
+                if m.cpu_seconds > 0 else float("inf")
+            ),
+            "iterations": m.updates,
+        }
+
+
 def obs_overhead_pct(metrics: Dict) -> Dict[str, float]:
     """Relative slowdown of the obs-off run vs the plain run, per op.
 
@@ -254,6 +291,16 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
                     or m["ops_per_sec"] > e2e[name]["ops_per_sec"]
                 ):
                     e2e[name] = m
+        # Batched ingestion rides in the same best-of-two scheme (plain
+        # obs only: the obs-off A/B is owned by update/query above).
+        fresh = {}
+        bench_batch(fresh)
+        for name, m in fresh.items():
+            if (
+                name not in e2e
+                or m["ops_per_sec"] > e2e[name]["ops_per_sec"]
+            ):
+                e2e[name] = m
     metrics.update(e2e)
     overhead = obs_overhead_pct(metrics)
     report = {

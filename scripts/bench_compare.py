@@ -48,11 +48,18 @@ def load_report(path: pathlib.Path) -> dict:
         report = json.loads(path.read_text())
     except FileNotFoundError:
         raise SystemExit(f"{path}: no such file") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(report, dict):
+        raise SystemExit(f"{path}: expected a JSON object at top level")
     schema = report.get("schema")
     if schema != SCHEMA:
         raise SystemExit(
             f"{path}: unsupported schema {schema!r} (expected {SCHEMA!r})"
         )
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: report has no 'metrics' object")
     return report
 
 

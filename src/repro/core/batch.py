@@ -1,0 +1,238 @@
+"""Batched update ingestion: dedup, locality ordering, batch plans.
+
+Update-intensive spatial workloads amortise per-update overhead by
+buffering updates and applying them in groups (cf. the LSM-based R-tree
+line of work in PAPERS.md).  The memo-based update of Section 3 makes
+this particularly clean for the RUM-tree: an update never needs the old
+entry, so a buffered batch can be *deduplicated per object* — only the
+last operation of each object has any effect on the final visible state
+— and the surviving insertions can be *reordered freely* without
+changing semantics.  This module implements the workload-independent
+half of that pipeline:
+
+* **Operation normalisation** — batches are sequences of plain tuples,
+  ``("insert", oid, rect)``, ``("update", oid, new_rect[, old_rect])``
+  and ``("delete", oid[, old_rect])``.  The optional ``old_rect`` is
+  ignored by the RUM-tree (Section 3.2.1) but threaded through for the
+  top-down baselines, which need the currently-stored MBR to locate the
+  entry they must remove.
+* **Last-write-wins dedup** (:func:`plan_batch`) — per oid, operations
+  fold left-to-right into at most one surviving operation.  For the
+  RUM-tree this is *exactly* equivalent to sequential application as
+  far as queries are concerned: sequentially, every superseded
+  insertion produces an entry that is obsolete the moment the next
+  stamp for the same oid is recorded, and the memo filter hides it from
+  every query.  Skipping it merely skips creating garbage (see
+  ``docs/BATCHING.md`` for the full argument).  For the baselines the
+  fold chains ``old_rect`` of the first folded operation onto the last
+  one, so the single surviving top-down update still finds the stored
+  entry.
+* **Z-order locality key** (:func:`zorder_key`) — surviving insertions
+  are sorted by the Morton code of their rectangle's centre, so
+  consecutive choose-subtree descents land on nearby leaves and the
+  batch scope's page pinning turns repeat visits into buffer hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rtree.geometry import Rect
+
+#: Operation kinds accepted by :func:`plan_batch`.
+KINDS = ("insert", "update", "delete")
+
+#: Quantisation resolution of the Z-order key (bits per dimension).
+ZORDER_BITS = 16
+
+_ZMAX = (1 << ZORDER_BITS) - 1
+
+
+def _part1by1(v: int) -> int:
+    """Spread the low 16 bits of ``v`` into the even bit positions."""
+    v &= 0xFFFF
+    v = (v | (v << 8)) & 0x00FF00FF
+    v = (v | (v << 4)) & 0x0F0F0F0F
+    v = (v | (v << 2)) & 0x33333333
+    v = (v | (v << 1)) & 0x55555555
+    return v
+
+
+def zorder_key(rect: Rect) -> int:
+    """Morton code of ``rect``'s centre, quantised to the unit square.
+
+    Coordinates outside ``[0, 1]`` clamp to the border cell, so the key
+    is total over arbitrary rectangles; equal keys simply tie.
+    """
+    cx = (rect.xmin + rect.xmax) * 0.5
+    cy = (rect.ymin + rect.ymax) * 0.5
+    qx = int(min(max(cx, 0.0), 1.0) * _ZMAX)
+    qy = int(min(max(cy, 0.0), 1.0) * _ZMAX)
+    return _part1by1(qx) | (_part1by1(qy) << 1)
+
+
+@dataclass(frozen=True)
+class BatchUpsert:
+    """One surviving insertion of a batch plan."""
+
+    oid: int
+    rect: Rect
+    #: Stored MBR the top-down baselines must delete first; ``None`` for
+    #: a fresh insert (or when the producer knows the consumer is a
+    #: RUM-tree, which never needs it).
+    old_rect: Optional[Rect] = None
+
+
+@dataclass(frozen=True)
+class BatchDelete:
+    """One surviving deletion of a batch plan."""
+
+    oid: int
+    old_rect: Optional[Rect] = None
+
+
+@dataclass
+class BatchPlan:
+    """The deduplicated, locality-ordered form of one operation batch."""
+
+    #: Surviving insertions, sorted by :func:`zorder_key` of their rects.
+    upserts: List[BatchUpsert] = field(default_factory=list)
+    #: Surviving deletions (order is irrelevant: they touch no page in
+    #: the memo-based path and distinct oids never interact).
+    deletes: List[BatchDelete] = field(default_factory=list)
+    #: Operations in the input batch.
+    total_ops: int = 0
+
+    @property
+    def surviving(self) -> int:
+        return len(self.upserts) + len(self.deletes)
+
+    @property
+    def deduped(self) -> int:
+        """Operations dropped by last-write-wins folding."""
+        return self.total_ops - self.surviving
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of the batch folded away (0.0 = nothing saved)."""
+        return self.deduped / self.total_ops if self.total_ops else 0.0
+
+
+@dataclass
+class BatchResult:
+    """What applying one batch did (returned by ``apply_batch``)."""
+
+    total_ops: int
+    applied: int
+    deduped: int
+    inserts: int
+    deletes: int
+    #: Leaf dirty-marks vs. distinct pages written by the batch scope;
+    #: their difference is the writeback the batching coalesced away.
+    write_marks: int = 0
+    pages_written: int = 0
+
+    @property
+    def coalesced_writes(self) -> int:
+        return max(0, self.write_marks - self.pages_written)
+
+
+# Per-oid fold state: (kind, new_rect, old_rect).  ``kind`` is one of
+# "insert" / "update" / "delete" / "noop" ("noop" = insert followed by
+# delete inside the same batch: the object never existed outside it).
+_FoldState = Tuple[str, Optional[Rect], Optional[Rect]]
+
+
+def _fold(state: Optional[_FoldState], op: Tuple) -> _FoldState:
+    """Fold the next operation of one oid onto its current state.
+
+    Left-to-right, last write wins; the ``old_rect`` of the *first*
+    folded operation is preserved so a top-down consumer still finds the
+    entry that is physically in its tree.
+    """
+    kind = op[0]
+    new_rect = op[2] if kind in ("insert", "update") else None
+    op_old: Optional[Rect] = None
+    if kind == "update" and len(op) > 3:
+        op_old = op[3]
+    elif kind == "delete" and len(op) > 2:
+        op_old = op[2]
+
+    if state is None:
+        return (kind, new_rect, op_old)
+    prev_kind, _prev_rect, prev_old = state
+    if prev_kind == "insert":
+        if kind == "delete":
+            return ("noop", None, None)
+        return ("insert", new_rect, None)
+    if prev_kind == "noop":
+        # The object does not exist at this point of the batch: any
+        # further write re-creates it from scratch.
+        if kind == "delete":
+            return ("noop", None, None)
+        return ("insert", new_rect, None)
+    # prev_kind is "update" or "delete": the object pre-exists the batch
+    # and prev_old (possibly None) locates its stored entry.
+    if kind == "delete":
+        return ("delete", None, prev_old)
+    if prev_kind == "delete":
+        # delete then re-insert: net effect is moving the stored entry.
+        return ("update", new_rect, prev_old)
+    return ("update", new_rect, prev_old)
+
+
+def normalize_op(op: Sequence) -> Tuple:
+    """Validate one batch operation tuple; returns it as a plain tuple."""
+    if not op:
+        raise ValueError("empty batch operation")
+    kind = op[0]
+    if kind not in KINDS:
+        raise ValueError(
+            f"unknown batch operation kind {kind!r}; expected one of {KINDS}"
+        )
+    if kind == "delete":
+        if not 2 <= len(op) <= 3:
+            raise ValueError(
+                f"delete op takes (oid[, old_rect]), got {len(op) - 1} args"
+            )
+    else:
+        if not 3 <= len(op) <= 4:
+            raise ValueError(
+                f"{kind} op takes (oid, rect[, old_rect]), "
+                f"got {len(op) - 1} args"
+            )
+        if not isinstance(op[2], Rect):
+            raise TypeError(f"{kind} op rect must be a Rect, got {op[2]!r}")
+    if not isinstance(op[1], int):
+        raise TypeError(f"{kind} op oid must be an int, got {op[1]!r}")
+    return tuple(op)
+
+
+def plan_batch(ops: Iterable[Sequence]) -> BatchPlan:
+    """Deduplicate and locality-order a batch of operations.
+
+    Returns a :class:`BatchPlan` whose application (deletes, then the
+    Z-ordered upserts) is equivalent — for every query that runs after
+    the batch — to applying ``ops`` sequentially in input order.
+    """
+    states: Dict[int, _FoldState] = {}
+    total = 0
+    for raw in ops:
+        op = normalize_op(raw)
+        total += 1
+        oid = op[1]
+        states[oid] = _fold(states.get(oid), op)
+
+    plan = BatchPlan(total_ops=total)
+    for oid, (kind, new_rect, old_rect) in states.items():
+        if kind == "noop":
+            continue
+        if kind == "delete":
+            plan.deletes.append(BatchDelete(oid, old_rect))
+        elif new_rect is None:  # fold invariant: upserts carry a rect
+            raise RuntimeError(f"batch fold lost the rect of oid {oid}")
+        else:
+            plan.upserts.append(BatchUpsert(oid, new_rect, old_rect))
+    plan.upserts.sort(key=lambda u: (zorder_key(u.rect), u.oid))
+    return plan

@@ -175,10 +175,23 @@ class GarbageCleaner:
         step credit: ``ir`` leaf inspections are performed per update on
         average, rotating through the tokens round-robin.
         """
-        if self.n_tokens == 0 or self.inspection_ratio <= 0:
+        self.on_batch(1)
+
+    def on_batch(self, n_updates: int) -> None:
+        """Account ``n_updates`` processed updates in one call.
+
+        Equivalent to ``n_updates`` calls of :meth:`on_update` — the same
+        step credit accrues (to within one float rounding: one multiply
+        here vs ``n`` additions there) and the same token steps run — but
+        the bookkeeping is paid once and the steps execute back to back
+        at the end of the batch instead of interleaved with it.  Inside a
+        buffer batch scope the steps' page writes then coalesce with the
+        batch's own writeback.
+        """
+        if self.n_tokens == 0 or self.inspection_ratio <= 0 or n_updates <= 0:
             return
-        self.updates_seen += 1
-        self._step_credit += self.inspection_ratio
+        self.updates_seen += n_updates
+        self._step_credit += self.inspection_ratio * n_updates
         while self._step_credit >= 1.0:
             self._step_credit -= 1.0
             if not self.tokens:

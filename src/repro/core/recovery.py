@@ -171,7 +171,22 @@ def recover_option_ii(tree: RUMTree) -> RecoveryReport:
 
 
 def recover_option_iii(tree: RUMTree) -> RecoveryReport:
-    """Option III: restore the checkpoint and replay the memo-change log."""
+    """Option III: restore the checkpoint and replay the memo-change log.
+
+    **Torn batches.** Batched ingestion (``RUMTree.apply_batch`` under
+    group commit) logs a *stamp lease* before each batch and defers the
+    forced flush of the batch's memo records to the batch end.  A crash
+    inside the batch therefore leaves the lease durable but (part of)
+    the records volatile, while the tree — durable on its own in this
+    failure model — may already contain entries the batch inserted.  The
+    pure log replay above cannot see those orphaned entries; when the
+    lease's stamp range is not fully covered by durable memo records the
+    recovery falls back to one leaf scan and merges physical ground
+    truth with the durable log: an operation of the torn batch counts as
+    applied iff its entry reached the tree or its memo record became
+    durable.  The scan is paid only on a crash that lands inside an open
+    batch — the no-scan fast path of the paper is unchanged otherwise.
+    """
     if tree.wal is None:
         raise ValueError("Option III recovery needs the write-ahead log")
     before = tree.stats.snapshot()
@@ -186,7 +201,11 @@ def recover_option_iii(tree: RUMTree) -> RecoveryReport:
     else:
         tree.memo.restore(iter(()))
     replayed = 0
+    max_lease = 0
     for record in tree.wal.read_from(start_lsn):
+        if record.kind == "lease":
+            max_lease = max(max_lease, record.payload)
+            continue
         if record.kind != "memo":
             continue
         oid, stamp = record.payload
@@ -194,14 +213,58 @@ def recover_option_iii(tree: RUMTree) -> RecoveryReport:
         if stamp > max_stamp:
             max_stamp = stamp
         replayed += 1
+    scanned = 0
+    if max_lease - 1 > max_stamp:
+        # Torn batch: stamps up to the lease ceiling may sit on durable
+        # tree entries whose memo records died with the crash.
+        scanned, scan_max = _merge_torn_batch_scan(tree)
+        max_stamp = max(max_stamp, scan_max, max_lease - 1)
     tree.stamps.restore(max_stamp + 1)
     return RecoveryReport(
         option="III",
         io=tree.stats.snapshot() - before,
         log_records_replayed=replayed,
+        leaf_entries_scanned=scanned,
         memo_entries_after=len(tree.memo),
         stamp_restored=max_stamp + 1,
     )
+
+
+def _merge_torn_batch_scan(tree: RUMTree) -> Tuple[int, int]:
+    """Reconcile the replayed memo with the tree's physical entries.
+
+    For every object the authoritative latest version is whichever is
+    newer of (a) the newest *physical* entry found by a full leaf scan
+    — an orphan inserted by the torn batch counts as applied — and (b)
+    the newest *logged* stamp already in the replayed memo — a durable
+    record whose insertion never ran (or a durable delete) stays
+    authoritative, hiding every physical entry.  ``N_old`` is recomputed
+    from the physical count so the cleaner's accounting starts exact.
+    Returns ``(entries scanned, highest physical stamp seen)``.
+    """
+    logged = {oid: s for oid, s, _n_old in tree.memo.snapshot()}
+    physical: Dict[int, Tuple[int, int]] = {}
+    scanned = 0
+    scan_max = 0
+    for leaf in _scan_leaves_counted(tree):
+        for entry in leaf.entries:
+            smax, count = physical.get(entry.oid, (-1, 0))
+            physical[entry.oid] = (max(smax, entry.stamp), count + 1)
+            if entry.stamp > scan_max:
+                scan_max = entry.stamp
+            scanned += 1
+    merged = []
+    for oid, (smax, count) in physical.items():
+        logged_stamp = logged.get(oid, -1)
+        if logged_stamp > smax:
+            # Durable record newer than anything physical: every entry
+            # of the object is obsolete (lost insert or a delete).
+            merged.append((oid, logged_stamp, count))
+        elif count > 1:
+            merged.append((oid, smax, count - 1))
+        # A single entry at the newest stamp needs no memo entry.
+    tree.memo.restore(iter(merged))
+    return scanned, scan_max
 
 
 RECOVERY_PROCEDURES = {

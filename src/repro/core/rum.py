@@ -19,10 +19,13 @@ here; the recovery procedures themselves live in
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, ContextManager, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+
+    from .batch import BatchPlan, BatchResult
 
 from repro.storage.buffer import BufferPool
 from repro.storage.wal import WriteAheadLog
@@ -207,6 +210,86 @@ class RUMTree(RTreeBase):
             raise RuntimeError("checkpointing requires a write-ahead log")
         self.wal.append_checkpoint(self.memo.snapshot(), self.stamps.current)
         self._updates_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Batched ingestion (see repro.core.batch and docs/BATCHING.md)
+    # ------------------------------------------------------------------
+
+    def _apply_batch_plan(self, plan: "BatchPlan") -> "BatchResult":
+        """Memo-native batch application.
+
+        Replaces the generic per-operation loop of
+        :meth:`RTreeBase._apply_batch_plan` with the RUM-tree fast path:
+        every surviving operation is a stamp bump plus a memo record (and,
+        for upserts, one insertion) — no per-op spans, no per-op cleaner
+        or checkpoint bookkeeping.  The whole batch runs inside
+
+        * one :meth:`BufferPool.batch_scope` — repeat leaf visits hit the
+          pinned op cache and writeback coalesces into a single ordered
+          flush at scope exit, and
+        * one :meth:`WriteAheadLog.group_commit` (Option III only) — the
+          per-record forced flushes fold into one force at scope exit,
+          so a batch of N memo changes costs one forced log write (plus
+          one for the stamp lease reserved up front, which keeps the
+          recovered stamp counter ahead of any tree entry a crashed
+          batch leaves behind; see :meth:`WriteAheadLog.
+          append_stamp_lease` and ``docs/BATCHING.md`` for the weakened
+          mid-batch durability contract).
+
+        Cleaner stepping is amortised with
+        :meth:`GarbageCleaner.on_batch`: the same token steps run as for
+        sequential application, but back to back inside the batch scope
+        where their page writes coalesce with the batch's own writeback.
+        Checkpoint accounting advances once per batch, so at most one UM
+        checkpoint is written per batch (at its end, after the group
+        commit has made the batch's memo records durable).
+        """
+        from .batch import BatchResult
+
+        full_log = (
+            self.recovery_option == RECOVERY_FULL_LOG and self.wal is not None
+        )
+        if full_log and plan.surviving:
+            # Reserve the batch's stamp range up front (forced
+            # immediately, outside the group scope): the batch inserts
+            # durable tree entries before its memo records are forced,
+            # and recovery must never reissue a stamp that may sit on
+            # such an entry orphaned by a crashed group commit.
+            self.wal.append_stamp_lease(
+                self.stamps.current + plan.surviving
+            )
+        wal_scope: ContextManager[None] = (
+            self.wal.group_commit() if full_log else nullcontext()
+        )
+        with self.buffer.batch_scope() as scope, wal_scope:
+            for d in plan.deletes:
+                stamp = self.stamps.next()
+                self.memo.record_update(d.oid, stamp)
+                if full_log:
+                    self.wal.append_memo_change(d.oid, stamp)
+            for u in plan.upserts:
+                stamp = self.stamps.next()
+                self.memo.record_update(u.oid, stamp)
+                if full_log:
+                    self.wal.append_memo_change(u.oid, stamp)
+                self._insert(LeafEntry(u.rect, u.oid, stamp), 0, set())
+            self.cleaner.on_batch(plan.surviving)
+        if (
+            self.recovery_option in (RECOVERY_CHECKPOINT, RECOVERY_FULL_LOG)
+            and plan.surviving
+        ):
+            self._updates_since_checkpoint += plan.surviving
+            if self._updates_since_checkpoint >= self.checkpoint_interval:
+                self.write_checkpoint()
+        return BatchResult(
+            total_ops=plan.total_ops,
+            applied=plan.surviving,
+            deduped=plan.deduped,
+            inserts=len(plan.upserts),
+            deletes=len(plan.deletes),
+            write_marks=scope.write_marks,
+            pages_written=scope.pages_written,
+        )
 
     # ------------------------------------------------------------------
     # Search (Figure 3b): raw R-tree answer set filtered through the memo

@@ -169,6 +169,44 @@ def measure_updates(tree, objects, count: int) -> UpdateMeasurement:
     return measurement
 
 
+def measure_batched_updates(
+    tree, objects, count: int, batch_size: int
+) -> UpdateMeasurement:
+    """Replay ``count`` updates through ``apply_batch`` in fixed groups.
+
+    The same update stream as :func:`measure_updates`, chunked into
+    batches of ``batch_size`` operations; the final partial batch is
+    applied too, so exactly ``count`` updates reach the tree either way.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    before = tree.stats.snapshot()
+    started = time.process_time()
+    batch: List = []
+    for oid, old_rect, new_rect in objects.updates(count):
+        batch.append(("update", oid, new_rect, old_rect))
+        if len(batch) >= batch_size:
+            tree.apply_batch(batch)
+            batch = []
+    if batch:
+        tree.apply_batch(batch)
+    cpu = time.process_time() - started
+    measurement = UpdateMeasurement(
+        updates=count, io=tree.stats.snapshot() - before, cpu_seconds=cpu
+    )
+    obs = getattr(tree, "obs", None)
+    if obs is not None:
+        obs.event(
+            "measure.batched_updates",
+            tree=tree.name,
+            updates=count,
+            batch_size=batch_size,
+            cpu_seconds=cpu,
+            io=measurement.io.as_dict(),
+        )
+    return measurement
+
+
 @dataclass
 class QueryMeasurement:
     """Averaged query-cost metrics over one measured stream."""

@@ -26,6 +26,7 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -37,6 +38,7 @@ from typing import (
 from repro.storage.buffer import BufferPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchPlan, BatchResult
     from repro.obs import Observability
 
 from .geometry import Rect
@@ -121,6 +123,11 @@ class RTreeBase:
         self._obs_c_knn = None
         self._obs_h_update_io = None
         self._obs_h_query_io = None
+        self._obs_c_batches = None
+        self._obs_c_batch_ops = None
+        self._obs_c_batch_deduped = None
+        self._obs_c_batch_coalesced = None
+        self._obs_h_batch_size = None
 
         if attach is not None:
             self.root_id = attach["root_id"]
@@ -141,6 +148,9 @@ class RTreeBase:
     #: Histogram bounds for per-operation leaf I/O (operations cost a
     #: handful of page accesses; the tail catches pathological queries).
     _IO_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 128.0)
+
+    #: Histogram bounds for ingestion batch sizes (powers of four).
+    _BATCH_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Attach observability to this tree and its whole storage stack.
@@ -165,10 +175,23 @@ class RTreeBase:
                 "tree.query_leaf_io", self._IO_BUCKETS
             )
             reg.gauge("tree.height").set_function(lambda: self.height)
+            self._obs_c_batches = reg.counter("tree.batches")
+            self._obs_c_batch_ops = reg.counter("tree.batch_ops")
+            self._obs_c_batch_deduped = reg.counter("tree.batch_deduped")
+            self._obs_c_batch_coalesced = reg.counter(
+                "tree.batch_coalesced_writes"
+            )
+            self._obs_h_batch_size = reg.histogram(
+                "tree.batch_size", self._BATCH_BUCKETS
+            )
         else:
             self._obs_c_updates = self._obs_c_queries = None
             self._obs_c_knn = None
             self._obs_h_update_io = self._obs_h_query_io = None
+            self._obs_c_batches = self._obs_c_batch_ops = None
+            self._obs_c_batch_deduped = None
+            self._obs_c_batch_coalesced = None
+            self._obs_h_batch_size = None
 
     def _obs_record(self, counter, histogram, span) -> None:
         """Account one finished operation span (enabled path only)."""
@@ -206,6 +229,69 @@ class RTreeBase:
         locations (the FUR-tree's secondary index) sees relocations caused
         by splits/reinserts afterwards and ends up with the final leaf.
         """
+
+    # ------------------------------------------------------------------
+    # Batched ingestion (generic fallback)
+    # ------------------------------------------------------------------
+
+    def apply_batch(self, ops: Iterable[Sequence]) -> "BatchResult":
+        """Apply a batch of ``("insert"|"update"|"delete", oid, ...)`` ops.
+
+        Generic fallback shared by the baselines for like-for-like
+        comparison with the RUM-tree's memo-native override: the batch is
+        deduplicated per oid (last write wins), the surviving insertions
+        are Z-ordered for locality, and everything runs inside one
+        buffer batch scope so repeat leaf touches coalesce into a single
+        ordered writeback.  The per-operation *structural* work — a
+        top-down delete per update, here — is unchanged; only the
+        plumbing is amortised.  See :mod:`repro.core.batch` for the op
+        format and :class:`~repro.core.batch.BatchResult` for the return
+        value.
+        """
+        from repro.core.batch import plan_batch
+
+        plan = plan_batch(ops)
+        obs = self.obs
+        if obs is None:
+            return self._apply_batch_plan(plan)
+        with obs.span(
+            "update_batch", io=self.stats, tree=self.name,
+            ops=plan.total_ops, deduped=plan.deduped,
+        ):
+            result = self._apply_batch_plan(plan)
+        self._obs_record_batch(result)
+        return result
+
+    def _apply_batch_plan(self, plan: "BatchPlan") -> "BatchResult":
+        """Sequentially replay a batch plan inside one batch scope."""
+        from repro.core.batch import BatchResult
+
+        with self.buffer.batch_scope() as scope:
+            for d in plan.deletes:
+                self.delete_object(d.oid, d.old_rect)
+            for u in plan.upserts:
+                if u.old_rect is None:
+                    self.insert_object(u.oid, u.rect)
+                else:
+                    self.update_object(u.oid, u.old_rect, u.rect)
+        return BatchResult(
+            total_ops=plan.total_ops,
+            applied=plan.surviving,
+            deduped=plan.deduped,
+            inserts=len(plan.upserts),
+            deletes=len(plan.deletes),
+            write_marks=scope.write_marks,
+            pages_written=scope.pages_written,
+        )
+
+    def _obs_record_batch(self, result: "BatchResult") -> None:
+        """Account one finished batch (enabled path only)."""
+        if self._obs_c_batches is not None:
+            self._obs_c_batches.inc()
+            self._obs_c_batch_ops.inc(result.total_ops)
+            self._obs_c_batch_deduped.inc(result.deduped)
+            self._obs_c_batch_coalesced.inc(result.coalesced_writes)
+            self._obs_h_batch_size.observe(float(result.total_ops))
 
     def _choose_node(self, rect: Rect, level: int) -> Node:
         """Descend from the root to a node at ``level`` (leaves = level 0)."""

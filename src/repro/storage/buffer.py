@@ -24,11 +24,20 @@ Usage::
 
 Accesses outside an operation degrade gracefully to read-through /
 write-through with the same counters; the recovery scans use that mode.
+
+A **batch scope** (:meth:`BufferPool.batch_scope`) stretches the same
+mechanism over many logical operations: every operation opened inside the
+scope flattens into it, so a page touched by several updates of one batch
+is read at most once and written back at most once — at scope exit, in
+ascending page-id order so the disk sees one sequential sweep.  The scope
+reports how many dirty-marks it coalesced away, which is the batching
+pipeline's headline I/O saving.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
 from .disk import PageStore
@@ -40,6 +49,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.rtree.node import Node
 
     from .codec import NodeCodec
+
+
+@dataclass
+class BatchScopeStats:
+    """What one :meth:`BufferPool.batch_scope` saw and saved.
+
+    ``write_marks`` counts every leaf ``mark_dirty`` inside the scope;
+    ``pages_written`` the distinct dirty pages actually written at exit.
+    Their difference — :attr:`coalesced_writes` — is the number of leaf
+    writes the batch amortised away versus per-operation writeback.
+    """
+
+    write_marks: int = 0
+    pages_written: int = 0
+
+    @property
+    def coalesced_writes(self) -> int:
+        return max(0, self.write_marks - self.pages_written)
 
 
 class BufferPool:
@@ -80,11 +107,15 @@ class BufferPool:
         self._lru: Dict[int, "Node"] = {}
         self._lru_dirty: Set[int] = set()
         self._op_depth = 0
+        #: Stats of the innermost open batch scope (None outside one).
+        self._batch: Optional[BatchScopeStats] = None
         # Telemetry counters bound by attach_obs(); None = disabled.
         self._obs_hits: Optional[Counter] = None
         self._obs_misses: Optional[Counter] = None
         self._obs_evictions: Optional[Counter] = None
         self._obs_write_backs: Optional[Counter] = None
+        self._obs_batch_scopes: Optional[Counter] = None
+        self._obs_batch_coalesced: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: cache hits/misses, evictions, write-backs.
@@ -98,12 +129,17 @@ class BufferPool:
         if obs is None or not obs.metrics_on:
             self._obs_hits = self._obs_misses = None
             self._obs_evictions = self._obs_write_backs = None
+            self._obs_batch_scopes = self._obs_batch_coalesced = None
         else:
             reg = obs.registry
             self._obs_hits = reg.counter("buffer.hits")
             self._obs_misses = reg.counter("buffer.misses")
             self._obs_evictions = reg.counter("buffer.evictions")
             self._obs_write_backs = reg.counter("buffer.write_backs")
+            self._obs_batch_scopes = reg.counter("buffer.batch_scopes")
+            self._obs_batch_coalesced = reg.counter(
+                "buffer.batch_coalesced_writes"
+            )
             reg.gauge("buffer.internal_cached").set_function(
                 self.cached_internal_nodes
             )
@@ -132,11 +168,45 @@ class BufferPool:
             if self._op_depth == 0:
                 self._flush_op_cache()
 
+    @contextmanager
+    def batch_scope(self) -> Iterator[BatchScopeStats]:
+        """Pin pages across many operations; one ordered flush at exit.
+
+        Behaves like an :meth:`operation` that outlives every operation
+        opened inside it (those flatten into the scope), so a leaf page
+        touched by several updates of one batch is read once and written
+        once.  Yields a :class:`BatchScopeStats` that, after exit, reports
+        how many leaf writes the coalescing saved.  Nested batch scopes
+        flatten into the outermost one (the inner scope's stats then only
+        see its own dirty-marks; pages are written by the outer exit).
+        """
+        stats = BatchScopeStats()
+        previous = self._batch
+        self._batch = stats
+        self._op_depth += 1
+        try:
+            yield stats
+        finally:
+            self._op_depth -= 1
+            self._batch = previous
+            if self._op_depth == 0:
+                written = self._flush_op_cache()
+                stats.pages_written = written
+                if self._obs_batch_scopes is not None:
+                    self._obs_batch_scopes.inc()
+                    self._obs_batch_coalesced.inc(stats.coalesced_writes)
+
     @property
     def in_operation(self) -> bool:
         return self._op_depth > 0
 
-    def _flush_op_cache(self) -> None:
+    def _flush_op_cache(self) -> int:
+        """Write back the operation cache; returns leaf pages written.
+
+        Dirty pages go out in ascending page-id order so a file-backed
+        store sees one sequential sweep rather than hash-order seeks.
+        """
+        written = 0
         if self.leaf_cache_pages:
             # Hand the operation's pages to the resident LRU; dirty pages
             # are written back on eviction instead of at operation end.
@@ -145,14 +215,16 @@ class BufferPool:
                     page_id, node, dirty=page_id in self._dirty_leaves
                 )
         else:
-            for page_id in self._dirty_leaves:
+            for page_id in sorted(self._dirty_leaves):
                 node = self._op_leaf_cache[page_id]
                 self.disk.write_page(page_id, self._page_bytes(node))
                 self.stats.record_write(is_leaf=True)
+                written += 1
                 if self._obs_write_backs is not None:
                     self._obs_write_backs.inc()
         self._dirty_leaves.clear()
         self._op_leaf_cache.clear()
+        return written
 
     def _page_bytes(self, node: "Node") -> bytes:
         """The page image to write for ``node``.
@@ -245,6 +317,9 @@ class BufferPool:
         """
         node.cached_bytes = None
         if node.is_leaf:
+            batch = self._batch
+            if batch is not None:
+                batch.write_marks += 1
             if self.in_operation:
                 self._op_leaf_cache[node.page_id] = node
                 self._dirty_leaves.add(node.page_id)

@@ -23,12 +23,24 @@ that durable prefix, and :meth:`crash_truncate` discards everything
 behind it, which is exactly what a crash does to a real log device: the
 fault-injection harness arms a crash between "record appended in memory"
 and "force completed" and the record must be gone after reopen.
+
+**Group commit** (:meth:`group_commit`): inside the scope, ``force=True``
+appends defer their forced flush; the scope exit performs *one* force
+covering every deferred record.  A batch of N memo changes then costs one
+forced ``log_write`` instead of N (plus the page-fill writes either way).
+The durability contract weakens exactly as a real group-committed log
+does: a record inside an open group is durable only once its bytes are
+behind a flushed page boundary — a crash before the closing force loses
+the in-memory tail, and :meth:`crash_truncate` reflects that.  The scope
+never forces after an exception, so a :class:`SimulatedCrash` raised
+mid-batch cannot retroactively make the batch durable.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple
 
 from .iostats import IOStats
 
@@ -43,6 +55,10 @@ UM_ENTRY_BYTES = 24
 
 #: Simulated size of one memo-change log record (Option III).
 MEMO_CHANGE_BYTES = 24
+
+#: Simulated size of a stamp-lease record (batched ingestion): one stamp
+#: value plus framing.
+STAMP_LEASE_BYTES = 16
 
 #: Simulated size of a checkpoint header (stamp counter + metadata).
 CHECKPOINT_HEADER_BYTES = 32
@@ -84,10 +100,17 @@ class WriteAheadLog:
         #: Records known to be on stable storage (prefix length); the
         #: suffix beyond it dies with the process — see crash_truncate().
         self._durable_count = 0
+        #: Open group-commit scopes (nested scopes flatten into one).
+        self._group_depth = 0
+        #: True when some record inside the open group asked for a force
+        #: that was deferred to the scope exit.
+        self._group_pending = False
         self._obs: Optional["Observability"] = None
         self._obs_appends: Optional[Counter] = None
         self._obs_forced: Optional[Counter] = None
         self._obs_page_writes: Optional[Counter] = None
+        self._obs_group_commits: Optional[Counter] = None
+        self._obs_deferred_forces: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: append/force counts, page writes, log size."""
@@ -95,12 +118,15 @@ class WriteAheadLog:
             self._obs = None
             self._obs_appends = self._obs_forced = None
             self._obs_page_writes = None
+            self._obs_group_commits = self._obs_deferred_forces = None
             return
         self._obs = obs
         reg = obs.registry
         self._obs_appends = reg.counter("wal.appends")
         self._obs_forced = reg.counter("wal.forced_flushes")
         self._obs_page_writes = reg.counter("wal.page_writes")
+        self._obs_group_commits = reg.counter("wal.group_commits")
+        self._obs_deferred_forces = reg.counter("wal.deferred_forces")
         reg.gauge("wal.records").set_function(self.__len__)
         reg.gauge("wal.bytes").set_function(self.total_bytes)
 
@@ -149,23 +175,69 @@ class WriteAheadLog:
             )
 
         if force:
-            if faults is not None:
-                # Crash window: record appended in memory, force not yet
-                # durable (unless the page boundary already flushed it).
-                faults.fire("wal.force")
-            if self._current_fill > 0:
-                self.stats.log_writes += 1
-                # The page stays open for further appends; forcing it again
-                # later costs another write, as in a real log device.
-                if self._obs_page_writes is not None:
-                    self._obs_page_writes.inc()
-            # A force whose record exactly filled the page was already
-            # flushed by the page write above — no extra I/O, but it still
-            # counts as a forced flush (the caller demanded durability).
-            if self._obs_forced is not None:
-                self._obs_forced.inc()
-            self._durable_count = len(self._records)
+            if self._group_depth > 0:
+                # Group commit: the force is owed by the enclosing scope,
+                # which pays it once for the whole batch.
+                self._group_pending = True
+                if self._obs_deferred_forces is not None:
+                    self._obs_deferred_forces.inc()
+            else:
+                self.force()
         return record
+
+    def force(self) -> None:
+        """Flush the open log page, making every appended record durable.
+
+        One ``log_write`` when the current page is partially filled (it
+        stays open for further appends; forcing again later costs another
+        write, as in a real log device).  A force whose last record
+        exactly filled the page was already flushed by the page-boundary
+        write — no extra I/O, but it still counts as a forced flush (the
+        caller demanded durability).
+        """
+        if self.faults is not None:
+            # Crash window: records appended in memory, force not yet
+            # durable (unless a page boundary already flushed them).
+            self.faults.fire("wal.force")
+        if self._current_fill > 0:
+            self.stats.log_writes += 1
+            if self._obs_page_writes is not None:
+                self._obs_page_writes.inc()
+        if self._obs_forced is not None:
+            self._obs_forced.inc()
+        self._durable_count = len(self._records)
+        self._group_pending = False
+
+    @contextmanager
+    def group_commit(self) -> Iterator[None]:
+        """Defer forced flushes inside the scope to one force at exit.
+
+        Nested scopes flatten: only the outermost exit forces.  The exit
+        force happens only when (a) some record inside the scope asked
+        for ``force=True`` and (b) the scope body completed without an
+        exception — a crash mid-batch must leave the undurable tail
+        undurable, which is exactly the group-commit contract the crash
+        tests pin down.
+        """
+        self._group_depth += 1
+        completed = False
+        try:
+            yield
+            completed = True
+        finally:
+            self._group_depth -= 1
+            if (
+                completed
+                and self._group_depth == 0
+                and self._group_pending
+            ):
+                self.force()
+                if self._obs_group_commits is not None:
+                    self._obs_group_commits.inc()
+
+    @property
+    def in_group_commit(self) -> bool:
+        return self._group_depth > 0
 
     def append_memo_change(self, oid: int, stamp: int,
                            force: bool = True) -> LogRecord:
@@ -173,6 +245,22 @@ class WriteAheadLog:
         return self.append(
             "memo", (oid, stamp), MEMO_CHANGE_BYTES, force=force
         )
+
+    def append_stamp_lease(self, stamp_hi: int) -> LogRecord:
+        """Reserve the stamp range below ``stamp_hi`` ahead of a batch.
+
+        A group-committed batch inserts tree entries *before* its memo
+        records are forced; the tree is durable on its own, so a crash
+        can leave entries stamped beyond every durable memo record.
+        Logging the batch's stamp ceiling first — flushed immediately,
+        bypassing any open group-commit scope — lets Option III recovery
+        restore a stamp counter that dominates those orphaned entries
+        without scanning the tree.  Costs the batch one extra forced log
+        write (so two per batch, versus one per *update* unbatched).
+        """
+        record = self.append("lease", stamp_hi, STAMP_LEASE_BYTES)
+        self.force()
+        return record
 
     def append_checkpoint(self, memo_snapshot: List[Tuple[int, int, int]],
                           stamp_counter: int) -> LogRecord:
@@ -239,6 +327,9 @@ class WriteAheadLog:
             del self._records[self._durable_count:]
         total = sum(r.nbytes for r in self._records)
         self._current_fill = total % self.page_size
+        # The process died: any open group-commit scope died with it.
+        self._group_depth = 0
+        self._group_pending = False
         return lost
 
     # -- introspection -------------------------------------------------------------

@@ -1,0 +1,712 @@
+"""Tests for the batched update ingestion pipeline.
+
+Covers the four layers the pipeline spans: the pure batch planner
+(``repro.core.batch``), the buffer pool's batch scope, the WAL's group
+commit (including its crash semantics), and ``apply_batch`` on both the
+RUM-tree (memo-native path) and the top-down baselines (generic path).
+The centrepiece is the equivalence property: applying a batch must be
+observably identical to applying the same operations sequentially.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import SMALL_NODE, populate, random_window
+from repro.core.batch import plan_batch, zorder_key
+from repro.factory import build_rstar_tree, build_rum_tree
+from repro.lint.invariants import check_tree
+from repro.rtree.geometry import Rect
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.iostats import IOStats
+from repro.storage.wal import WriteAheadLog
+
+
+def _rect(x: float, y: float) -> Rect:
+    return Rect.from_point(x, y)
+
+
+# ---------------------------------------------------------------------------
+# Batch planning: dedup fold and Z-order
+# ---------------------------------------------------------------------------
+
+
+class TestPlanBatch:
+    def test_empty_batch(self):
+        plan = plan_batch([])
+        assert plan.total_ops == 0
+        assert plan.surviving == 0
+        assert plan.dedup_ratio == 0.0
+
+    def test_distinct_oids_all_survive(self):
+        plan = plan_batch(
+            [("insert", i, _rect(i / 10, 0.5)) for i in range(5)]
+        )
+        assert plan.total_ops == 5
+        assert len(plan.upserts) == 5
+        assert plan.deduped == 0
+
+    def test_update_chain_keeps_last_rect_and_first_old_rect(self):
+        first_old = _rect(0.1, 0.1)
+        plan = plan_batch(
+            [
+                ("update", 7, _rect(0.2, 0.2), first_old),
+                ("update", 7, _rect(0.3, 0.3), _rect(0.2, 0.2)),
+                ("update", 7, _rect(0.4, 0.4), _rect(0.3, 0.3)),
+            ]
+        )
+        assert plan.total_ops == 3
+        assert plan.deduped == 2
+        (up,) = plan.upserts
+        assert up.rect == _rect(0.4, 0.4)
+        # A top-down consumer must delete the entry that is physically
+        # stored, which is the old_rect of the FIRST folded operation.
+        assert up.old_rect == first_old
+
+    def test_insert_then_delete_is_noop(self):
+        plan = plan_batch(
+            [("insert", 1, _rect(0.5, 0.5)), ("delete", 1)]
+        )
+        assert plan.surviving == 0
+        assert plan.deduped == 2
+
+    def test_insert_update_delete_is_noop(self):
+        plan = plan_batch(
+            [
+                ("insert", 1, _rect(0.5, 0.5)),
+                ("update", 1, _rect(0.6, 0.6), _rect(0.5, 0.5)),
+                ("delete", 1),
+            ]
+        )
+        assert plan.surviving == 0
+
+    def test_delete_then_insert_becomes_update(self):
+        stored = _rect(0.2, 0.2)
+        plan = plan_batch(
+            [("delete", 3, stored), ("insert", 3, _rect(0.8, 0.8))]
+        )
+        assert not plan.deletes
+        (up,) = plan.upserts
+        assert up.rect == _rect(0.8, 0.8)
+        assert up.old_rect == stored
+
+    def test_noop_then_insert_is_fresh_insert(self):
+        plan = plan_batch(
+            [
+                ("insert", 1, _rect(0.1, 0.1)),
+                ("delete", 1),
+                ("insert", 1, _rect(0.9, 0.9)),
+            ]
+        )
+        (up,) = plan.upserts
+        assert up.rect == _rect(0.9, 0.9)
+        assert up.old_rect is None
+
+    def test_update_then_delete_keeps_first_old_rect(self):
+        stored = _rect(0.3, 0.3)
+        plan = plan_batch(
+            [
+                ("update", 5, _rect(0.4, 0.4), stored),
+                ("delete", 5),
+            ]
+        )
+        assert not plan.upserts
+        (dl,) = plan.deletes
+        assert dl.oid == 5
+        assert dl.old_rect == stored
+
+    def test_upserts_sorted_by_zorder(self):
+        rng = random.Random(42)
+        ops = [
+            ("insert", i, _rect(rng.random(), rng.random()))
+            for i in range(50)
+        ]
+        plan = plan_batch(ops)
+        keys = [zorder_key(u.rect) for u in plan.upserts]
+        assert keys == sorted(keys)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            plan_batch([("teleport", 1, _rect(0.5, 0.5))])
+        with pytest.raises(ValueError):
+            plan_batch([()])
+        with pytest.raises(ValueError):
+            plan_batch([("insert", 1)])  # missing rect
+        with pytest.raises(ValueError):
+            plan_batch([("delete", 1, _rect(0.1, 0.1), _rect(0.2, 0.2))])
+        with pytest.raises(TypeError):
+            plan_batch([("insert", "oid", _rect(0.5, 0.5))])
+        with pytest.raises(TypeError):
+            plan_batch([("insert", 1, (0.5, 0.5, 0.6, 0.6))])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "update", "delete"]),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            max_size=30,
+        )
+    )
+    def test_fold_survivors_match_sequential_simulation(self, raw_ops):
+        """The fold's surviving op per oid equals a naive replay's final
+        visible state (exists where? / gone?)."""
+        ops = []
+        visible = {}
+        for kind, oid, coord in raw_ops:
+            if kind == "delete":
+                ops.append(("delete", oid))
+                visible.pop(oid, None)
+            else:
+                rect = _rect(coord, coord)
+                ops.append((kind, oid, rect))
+                visible[oid] = rect
+        plan = plan_batch(ops)
+        planned = {u.oid: u.rect for u in plan.upserts}
+        # Deletes in the plan must not overlap the upserts, and nothing
+        # visible may be missing from the upserts.
+        assert set(planned) == set(visible)
+        for oid, rect in visible.items():
+            assert planned[oid] == rect
+        for d in plan.deletes:
+            assert d.oid not in visible
+
+
+class TestZOrder:
+    def test_locality_of_nearby_points(self):
+        # Morton keys are discontinuous across power-of-two cell
+        # boundaries, so pick a "near" pair inside one cell.
+        base = zorder_key(_rect(0.3, 0.3))
+        near = zorder_key(_rect(0.3001, 0.3001))
+        far = zorder_key(_rect(0.9, 0.1))
+        assert abs(base - near) < abs(base - far)
+
+    def test_clamps_out_of_range_coordinates(self):
+        lo = zorder_key(Rect(-5.0, -5.0, -4.0, -4.0))
+        hi = zorder_key(Rect(4.0, 4.0, 5.0, 5.0))
+        assert lo == zorder_key(_rect(0.0, 0.0))
+        assert hi == zorder_key(_rect(1.0, 1.0))
+
+    def test_interleaving_is_exact_on_grid_corners(self):
+        assert zorder_key(_rect(0.0, 0.0)) == 0
+        # x contributes the even bits, y the odd bits.
+        x_only = zorder_key(_rect(1.0, 0.0))
+        y_only = zorder_key(_rect(0.0, 1.0))
+        assert x_only & y_only == 0
+        assert x_only | y_only == zorder_key(_rect(1.0, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: apply_batch vs sequential application
+# ---------------------------------------------------------------------------
+
+
+def _make_ops(rng: random.Random, positions, n_ops: int):
+    """A mixed op stream over existing and fresh oids, tracking the
+    expected final visible state."""
+    ops = []
+    alive = dict(positions)
+    next_oid = max(alive) + 1 if alive else 0
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.2 or not alive:
+            oid, rect = next_oid, _rect(rng.random(), rng.random())
+            next_oid += 1
+            ops.append(("insert", oid, rect))
+            alive[oid] = rect
+        elif roll < 0.85:
+            oid = rng.choice(list(alive))
+            rect = _rect(rng.random(), rng.random())
+            ops.append(("update", oid, rect, alive[oid]))
+            alive[oid] = rect
+        else:
+            oid = rng.choice(list(alive))
+            ops.append(("delete", oid, alive.pop(oid)))
+    return ops, alive
+
+
+def _apply_sequentially(tree, ops):
+    for op in ops:
+        if op[0] == "insert":
+            tree.insert_object(op[1], op[2])
+        elif op[0] == "update":
+            tree.update_object(op[1], op[3] if len(op) > 3 else None, op[2])
+        else:
+            tree.delete_object(
+                op[1], op[2] if len(op) > 2 else None
+            )
+
+
+class TestBatchSequentialEquivalence:
+    def _pair(self, **kwargs):
+        trees = []
+        for _ in range(2):
+            tree = build_rum_tree(
+                node_size=SMALL_NODE, inspection_ratio=0.2, **kwargs
+            )
+            populate(tree, 60, seed=9)
+            trees.append(tree)
+        return trees
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rum_batch_equals_sequential(self, seed):
+        seq_tree, batch_tree = self._pair()
+        rng = random.Random(seed)
+        # Derive the true positions from the populated tree.
+        positions = {
+            oid: rect for oid, rect in seq_tree.search(Rect(0, 0, 1, 1))
+        }
+        ops, alive = _make_ops(rng, positions, 200)
+
+        _apply_sequentially(seq_tree, ops)
+        result = batch_tree.apply_batch(ops)
+        assert result.total_ops == 200
+
+        # Same answer for every query in a window grid...
+        wrng = random.Random(seed + 100)
+        for _ in range(25):
+            window = random_window(wrng)
+            assert sorted(batch_tree.search(window)) == sorted(
+                seq_tree.search(window)
+            )
+        # ...and for nearest-neighbour queries.
+        for _ in range(10):
+            x, y = wrng.random(), wrng.random()
+            assert {o for o, _ in batch_tree.nearest_neighbors(x, y, 5)} == {
+                o for o, _ in seq_tree.nearest_neighbors(x, y, 5)
+            }
+        # The final visible state is exactly the tracked oracle.
+        assert {
+            oid for oid, _ in batch_tree.search(Rect(0, 0, 1, 1))
+        } == set(alive)
+
+        # Structural and memo invariants hold on both trees.
+        check_tree(seq_tree)
+        check_tree(batch_tree)
+
+        # Dedup can only ever *reduce* garbage: superseded in-batch
+        # versions are never physically inserted.
+        assert batch_tree.garbage_count() <= seq_tree.garbage_count()
+
+    def test_batch_on_rstar_baseline_matches_sequential(self):
+        seq_tree = build_rstar_tree(node_size=SMALL_NODE)
+        batch_tree = build_rstar_tree(node_size=SMALL_NODE)
+        positions = populate(seq_tree, 40, seed=21)
+        populate(batch_tree, 40, seed=21)
+        rng = random.Random(5)
+        ops, alive = _make_ops(rng, positions, 120)
+
+        _apply_sequentially(seq_tree, ops)
+        result = batch_tree.apply_batch(ops)
+        assert result.applied == result.inserts + result.deletes
+
+        wrng = random.Random(6)
+        for _ in range(20):
+            window = random_window(wrng)
+            assert sorted(batch_tree.search(window)) == sorted(
+                seq_tree.search(window)
+            )
+        check_tree(seq_tree)
+        check_tree(batch_tree)
+
+    def test_batch_coalesces_writes(self):
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        populate(tree, 80, seed=31)
+        rng = random.Random(32)
+        ops = [
+            ("update", oid, _rect(rng.random(), rng.random()))
+            for oid in range(80)
+        ]
+        result = tree.apply_batch(ops)
+        # 80 updates dirty far fewer distinct pages than they mark.
+        assert result.write_marks >= result.pages_written
+        assert result.coalesced_writes > 0
+
+    def test_batch_writes_leaves_in_ascending_page_order(self):
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        populate(tree, 80, seed=41)
+        disk = tree.buffer.disk
+        written = []
+        original = disk.write_page
+
+        def recording_write(page_id, data):
+            written.append(page_id)
+            return original(page_id, data)
+
+        disk.write_page = recording_write
+        rng = random.Random(42)
+        try:
+            tree.apply_batch(
+                [
+                    ("update", oid, _rect(rng.random(), rng.random()))
+                    for oid in range(80)
+                ]
+            )
+        finally:
+            disk.write_page = original
+        # Every write inside the batch comes from the scope-exit flush,
+        # which sweeps dirty leaves in ascending page-id order.
+        assert written
+        assert written == sorted(written)
+
+    def test_rum_update_ignores_missing_old_rect(self):
+        # The memo path never needs old_rect; a batch built without it
+        # must work on a RUM-tree.
+        tree = build_rum_tree(node_size=SMALL_NODE)
+        populate(tree, 20, seed=51)
+        result = tree.apply_batch(
+            [("update", oid, _rect(0.5, 0.5)) for oid in range(20)]
+        )
+        assert result.applied == 20
+        assert len(tree.search(Rect(0.49, 0.49, 0.51, 0.51))) == 20
+
+
+# ---------------------------------------------------------------------------
+# Amortised cleaning and checkpointing
+# ---------------------------------------------------------------------------
+
+
+class TestBatchAmortisation:
+    def test_cleaner_steps_match_sequential(self):
+        seq_tree = build_rum_tree(
+            node_size=SMALL_NODE, inspection_ratio=0.3
+        )
+        batch_tree = build_rum_tree(
+            node_size=SMALL_NODE, inspection_ratio=0.3
+        )
+        populate(seq_tree, 100, seed=61)
+        populate(batch_tree, 100, seed=61)
+        rng = random.Random(62)
+        # Distinct oids: with nothing to dedup, the batch accounts the
+        # full op count to the cleaner, exactly like sequential mode.
+        ops = [
+            ("update", oid, _rect(rng.random(), rng.random()))
+            for oid in range(100)
+        ]
+        _apply_sequentially(seq_tree, ops)
+        batch_tree.apply_batch(ops)
+        # Same surviving update count -> same accrued step credit ->
+        # same number of token inspections, executed at batch end (one
+        # step of slack: the batch accrues credit in a single exact
+        # multiply, sequential mode in n float additions).
+        assert (
+            batch_tree.cleaner.updates_seen == seq_tree.cleaner.updates_seen
+        )
+        assert (
+            abs(
+                batch_tree.cleaner.leaves_inspected
+                - seq_tree.cleaner.leaves_inspected
+            )
+            <= 1
+        )
+
+    def test_deduped_ops_do_not_step_the_cleaner(self):
+        tree = build_rum_tree(node_size=SMALL_NODE, inspection_ratio=0.3)
+        populate(tree, 50, seed=63)
+        seen_before = tree.cleaner.updates_seen
+        rng = random.Random(64)
+        # Each oid twice: only the 50 surviving ops reach the cleaner —
+        # folded-away ops never insert garbage, so stepping for them
+        # would over-clean relative to the work actually done.
+        tree.apply_batch(
+            [
+                ("update", oid % 50, _rect(rng.random(), rng.random()))
+                for oid in range(100)
+            ]
+        )
+        assert tree.cleaner.updates_seen == seen_before + 50
+
+    def test_at_most_one_checkpoint_per_batch(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE,
+            recovery_option="II",
+            checkpoint_interval=10,
+        )
+        populate(tree, 30, seed=71)
+        checkpoints_before = tree.wal.checkpoint_count()
+        rng = random.Random(72)
+        # 40 surviving updates with interval 10: sequentially this would
+        # write 4 checkpoints; the batch amortises to exactly one.
+        tree.apply_batch(
+            [
+                ("update", oid % 30, _rect(rng.random(), rng.random()))
+                for oid in range(40)
+            ]
+        )
+        assert tree.wal.checkpoint_count() == checkpoints_before + 1
+        assert tree._updates_since_checkpoint == 0
+
+
+# ---------------------------------------------------------------------------
+# WAL group commit
+# ---------------------------------------------------------------------------
+
+
+class TestWalGroupCommit:
+    def test_forces_once_per_group(self):
+        stats = IOStats()
+        wal = WriteAheadLog(4096, stats)
+        with wal.group_commit():
+            for i in range(10):
+                wal.append_memo_change(i, i + 1)  # force=True, deferred
+            assert wal.durable_records() == 0
+        assert wal.durable_records() == 10
+        # One forced flush for the whole group (no page ever filled).
+        assert stats.log_writes == 1
+
+    def test_without_group_each_append_forces(self):
+        stats = IOStats()
+        wal = WriteAheadLog(4096, stats)
+        for i in range(10):
+            wal.append_memo_change(i, i + 1)
+        assert stats.log_writes == 10
+
+    def test_no_pending_force_means_no_flush(self):
+        stats = IOStats()
+        wal = WriteAheadLog(4096, stats)
+        with wal.group_commit():
+            wal.append("memo", None, 24, force=False)
+        assert stats.log_writes == 0
+        assert wal.durable_records() == 0
+
+    def test_nested_groups_flatten(self):
+        stats = IOStats()
+        wal = WriteAheadLog(4096, stats)
+        with wal.group_commit():
+            wal.append_memo_change(1, 1)
+            with wal.group_commit():
+                wal.append_memo_change(2, 2)
+            # Inner exit must not force: the outer scope owns it.
+            assert wal.durable_records() == 0
+        assert wal.durable_records() == 2
+        assert stats.log_writes == 1
+
+    def test_page_boundary_inside_group_still_advances_durability(self):
+        stats = IOStats()
+        wal = WriteAheadLog(48, stats)  # two 24-byte records per page
+        with wal.group_commit():
+            wal.append_memo_change(1, 1)
+            wal.append_memo_change(2, 2)  # fills the page
+            assert wal.durable_records() == 2
+            wal.append_memo_change(3, 3)
+            assert wal.durable_records() == 2
+        assert wal.durable_records() == 3
+
+    def test_exception_inside_group_leaves_tail_undurable(self):
+        wal = WriteAheadLog(4096, IOStats())
+        with pytest.raises(RuntimeError):
+            with wal.group_commit():
+                wal.append_memo_change(1, 1)
+                raise RuntimeError("boom")
+        assert wal.durable_records() == 0
+        assert wal.crash_truncate() == 1
+        assert len(wal) == 0
+
+    def test_crash_mid_group_loses_undurable_records(self):
+        inj = FaultInjector()
+        wal = WriteAheadLog(4096, IOStats(), faults=inj)
+        wal.append_memo_change(0, 1)  # durable before the batch
+        inj.arm("wal.append", skip=2)
+        with pytest.raises(SimulatedCrash):
+            with wal.group_commit():
+                wal.append_memo_change(1, 2)
+                wal.append_memo_change(2, 3)
+                wal.append_memo_change(3, 4)  # crashes here
+        assert wal.durable_records() == 1
+        lost = wal.crash_truncate()
+        assert lost == 2
+        assert [r.payload for r in wal.read_from(0)] == [(0, 1)]
+        assert not wal.in_group_commit  # crash reset the group state
+
+    def test_crash_at_group_commit_force_loses_batch(self):
+        inj = FaultInjector()
+        wal = WriteAheadLog(4096, IOStats(), faults=inj)
+        inj.arm("wal.force")
+        with pytest.raises(SimulatedCrash):
+            with wal.group_commit():
+                wal.append_memo_change(1, 1)
+                wal.append_memo_change(2, 2)
+        # The closing force crashed before flushing: the whole batch is
+        # volatile, exactly like a crash an instant before the force.
+        assert wal.durable_records() == 0
+        assert wal.crash_truncate() == 2
+
+
+class TestBatchCrashRecovery:
+    def _tree_with_faults(self):
+        tree = build_rum_tree(
+            node_size=SMALL_NODE,
+            recovery_option="III",
+            checkpoint_interval=1_000,
+        )
+        inj = FaultInjector()
+        tree.wal.faults = inj
+        return tree, inj
+
+    def test_crash_at_closing_force_keeps_inserted_entries(self):
+        from repro.core.recovery import recover_option_iii
+
+        tree, inj = self._tree_with_faults()
+        populate(tree, 30, seed=81)
+        tree.write_checkpoint()
+        stamps_at_checkpoint = tree.stamps.current
+
+        # Crash on the group-commit force at batch end (skip=1 lets the
+        # stamp lease's immediate force through first).  Every insertion
+        # of the batch already reached the (durable) tree; only the memo
+        # records' tail dies.
+        inj.arm("wal.force", skip=1)
+        rng = random.Random(82)
+        ops = [
+            ("update", oid, _rect(rng.random(), rng.random()))
+            for oid in range(10)
+        ]
+        with pytest.raises(SimulatedCrash):
+            tree.apply_batch(ops)
+        stamps_attempted = tree.stamps.current
+        assert stamps_attempted == stamps_at_checkpoint + 10
+
+        lost = tree.wal.crash_truncate()
+        assert lost > 0  # the undurable tail of the batch died
+        tree.crash()
+        inj.disarm()
+        report = recover_option_iii(tree)
+
+        # The stamp lease survived (forced before the batch body), so
+        # the recovered counter dominates every stamp the batch handed
+        # out — none can be reissued onto an orphaned tree entry.
+        assert tree.stamps.current == stamps_attempted
+        # The lease's range is not covered by durable records, so the
+        # recovery detected the torn batch and paid the leaf scan.
+        assert report.leaf_entries_scanned > 0
+        check_tree(tree)
+
+        # Torn-batch contract: an operation counts as applied iff its
+        # entry reached the tree or its record became durable.  Here
+        # every insertion ran before the crashing force, so all ten
+        # updates are visible despite their lost records.
+        expected = {op[1]: op[2] for op in ops}
+        results = dict(tree.search(Rect(0, 0, 1, 1)))
+        for oid, rect in expected.items():
+            assert results[oid] == rect
+        assert len(results) == 30
+
+    def test_crash_mid_batch_applies_physical_prefix_only(self):
+        from repro.core.recovery import recover_option_iii
+
+        tree, inj = self._tree_with_faults()
+        positions = populate(tree, 30, seed=83)
+        tree.write_checkpoint()
+
+        # skip=5 lets the stamp lease's append plus four memo appends
+        # through, then crashes while appending the fifth memo record:
+        # four operations fully applied (record + insert), the rest
+        # never happened.
+        inj.arm("wal.append", skip=5)
+        rng = random.Random(84)
+        ops = [
+            ("update", oid, _rect(rng.random(), rng.random()))
+            for oid in range(10)
+        ]
+        with pytest.raises(SimulatedCrash):
+            tree.apply_batch(ops)
+
+        tree.wal.crash_truncate()
+        tree.crash()
+        inj.disarm()
+        recover_option_iii(tree)
+        check_tree(tree)
+
+        # The batch plan Z-orders the upserts, so "the first four" are
+        # the first four of the plan, not of the input batch.
+        from repro.core.batch import plan_batch
+
+        applied = {u.oid: u.rect for u in plan_batch(ops).upserts[:4]}
+        expected = dict(positions)
+        expected.update(applied)
+        assert dict(tree.search(Rect(0, 0, 1, 1))) == expected
+
+    def test_sequential_updates_after_recovered_batch_crash(self):
+        from repro.core.recovery import recover_option_iii
+
+        tree, inj = self._tree_with_faults()
+        populate(tree, 30, seed=85)
+        tree.write_checkpoint()
+        inj.arm("wal.force", skip=1)
+        rng = random.Random(86)
+        with pytest.raises(SimulatedCrash):
+            tree.apply_batch(
+                [
+                    ("update", oid, _rect(rng.random(), rng.random()))
+                    for oid in range(10)
+                ]
+            )
+        tree.wal.crash_truncate()
+        tree.crash()
+        inj.disarm()
+        recover_option_iii(tree)
+
+        # Life goes on: stamps issued after recovery never collide with
+        # the crashed batch's orphans, and the tree stays consistent.
+        for oid in range(30):
+            tree.update_object(oid, None, _rect(rng.random(), rng.random()))
+        check_tree(tree)
+        assert len(tree.search(Rect(0, 0, 1, 1))) == 30
+
+    def test_committed_batch_survives_crash(self):
+        from repro.core.recovery import recover_option_iii
+
+        tree, inj = self._tree_with_faults()
+        populate(tree, 30, seed=91)
+        tree.write_checkpoint()
+        rng = random.Random(92)
+        ops = [
+            ("update", oid, _rect(rng.random(), rng.random()))
+            for oid in range(10)
+        ]
+        result = tree.apply_batch(ops)
+        assert result.applied == 10
+        expected = sorted(tree.search(Rect(0, 0, 1, 1)))
+        stamp_after = tree.stamps.current
+
+        # Crash *after* the batch committed: everything must survive.
+        tree.wal.crash_truncate()
+        tree.crash()
+        recover_option_iii(tree)
+        assert tree.stamps.current == stamp_after
+        assert sorted(tree.search(Rect(0, 0, 1, 1))) == expected
+        check_tree(tree)
+
+
+# ---------------------------------------------------------------------------
+# Observability wiring
+# ---------------------------------------------------------------------------
+
+
+class TestBatchObservability:
+    def test_batch_counters_and_span(self):
+        from repro.obs import ListEventSink, Observability
+
+        sink = ListEventSink()
+        obs = Observability(level="trace", sink=sink)
+        tree = build_rum_tree(node_size=SMALL_NODE, obs=obs)
+        populate(tree, 20, seed=101)
+        sink.events.clear()
+        ops = [("update", 1, _rect(0.5, 0.5))] * 3 + [
+            ("update", 2, _rect(0.6, 0.6))
+        ]
+        tree.apply_batch(ops)
+        reg = obs.registry
+        assert reg.counter("tree.batches").value == 1
+        assert reg.counter("tree.batch_ops").value == 4
+        assert reg.counter("tree.batch_deduped").value == 2
+        spans = [
+            e for e in sink.of_type("span") if e["name"] == "update_batch"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["ops"] == 4
+        assert spans[0]["deduped"] == 2
