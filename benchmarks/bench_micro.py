@@ -38,6 +38,7 @@ from typing import Callable, Dict
 if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
+from repro import kernels
 from repro.core.memo import UpdateMemo
 from repro.obs import Observability
 from repro.experiments.harness import (
@@ -49,6 +50,7 @@ from repro.experiments.harness import (
     measure_updates,
     scaled,
 )
+from repro.rtree.base import MIRROR_QUERY_STREAK
 from repro.rtree.geometry import Rect
 from repro.rtree.node import IndexEntry, LeafEntry, Node
 from repro.storage.buffer import BufferPool
@@ -135,6 +137,60 @@ def bench_codec(metrics: Dict, iters: int) -> None:
         "ops_per_sec": _timed(decode_lazy, lazy_iters),
         "iterations": lazy_iters,
     }
+    count = codec.leaf_cap
+
+    def decode_bulk() -> None:
+        codec.decode_block(count, page)
+
+    metrics["codec.decode_bulk"] = {
+        "ops_per_sec": _timed(decode_bulk, lazy_iters),
+        "iterations": lazy_iters,
+    }
+
+
+def bench_kernels(metrics: Dict, iters: int) -> None:
+    """Columnar kernel hot loops in isolation (see docs/KERNELS.md).
+
+    ``geometry.bulk_intersect`` runs the range-search predicate over a
+    buffer-born block (the zero-copy representation queries consume);
+    ``split.margin_scan`` runs the R* axis-choice scan — a stable argsort
+    plus running-bounds tables per coordinate column — over an entry-born
+    block of a full leaf, the exact shape the split path feeds it.
+    """
+    rng = random.Random(13)
+    codec = NodeCodec(NODE_SIZE, rum_leaves=True)
+    node = _full_leaf(codec, rng)
+    page = codec.encode(node)
+    count = len(node.entries)
+    block = codec.decode_block(count, page)
+    wrng = random.Random(17)
+    windows = []
+    for _ in range(64):
+        x, y = wrng.random() * 0.99, wrng.random() * 0.99
+        windows.append((x, y, x + 0.01, y + 0.01))
+
+    def bulk_intersect() -> None:
+        for wx1, wy1, wx2, wy2 in windows:
+            kernels.intersect_indices(block, wx1, wy1, wx2, wy2)
+
+    rounds = max(5, iters // 10)
+    metrics["geometry.bulk_intersect"] = {
+        "ops_per_sec": _timed(bulk_intersect, rounds) * len(windows),
+        "iterations": rounds * len(windows),
+    }
+
+    entry_block = kernels.block_from_entries(node.entries)
+    min_entries = max(2, count * 2 // 5)
+
+    def margin_scan() -> None:
+        for dim in range(4):
+            order = kernels.argsort(entry_block, dim)
+            kernels.split_tables(entry_block, order, min_entries)
+
+    metrics["split.margin_scan"] = {
+        "ops_per_sec": _timed(margin_scan, rounds) * 4,
+        "iterations": rounds * 4,
+    }
 
 
 def bench_buffer(metrics: Dict, iters: int) -> None:
@@ -209,6 +265,16 @@ def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:
         ),
         "iterations": updates.updates,
     }
+    # Unmeasured warm-up on a *different* query seed: a sustained query
+    # phase amortises away its one-time costs — per-entry-count struct
+    # kernels compiled on first decode, and the query mirror built after
+    # MIRROR_QUERY_STREAK mutation-free searches — so the measured stream
+    # reports the steady-state per-query cost rather than charging those
+    # setup costs to whichever few queries happen to run first.
+    for window in RangeQueryGenerator(seed=7).queries(
+        MIRROR_QUERY_STREAK + 8
+    ):
+        tree.search(window)
     n_queries = scaled(200)
     queries = measure_queries(
         tree, RangeQueryGenerator(seed=2), n_queries
@@ -274,6 +340,7 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
     iters = max(50, int(2000 * scale))
     metrics: Dict = {}
     bench_codec(metrics, iters)
+    bench_kernels(metrics, iters)
     bench_buffer(metrics, max(10, iters // 10))
     bench_memo(metrics, iters)
     # Two alternating plain/obs-off passes, keeping the faster run of each

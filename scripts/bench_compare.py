@@ -3,7 +3,7 @@
 
 Usage::
 
-    python scripts/bench_compare.py baseline.json current.json \
+    python scripts/bench_compare.py baseline.json current.json [more.json...] \
         [--threshold 0.10] [--json report.json]
 
 Prints one line per metric with the throughput ratio.  A metric regresses
@@ -13,6 +13,13 @@ way, so local runs on noisy machines never fail); with
 ``--fail-on-regress`` any regression makes it exit non-zero so CI can
 gate on it.  Metrics present in only one file are reported but never
 fail the comparison (the suite is allowed to grow).
+
+Several ``current`` reports may be given (repeat runs of the same
+suite); they are merged per metric by keeping the *best* ops/sec.
+Throughput noise on a shared machine is one-sided — a run can only be
+slowed down, never sped up — so best-of-N estimates the machine's true
+capability and stops transient load from tripping the CI gate.  All
+merged reports must share schema and scale.
 
 ``--json PATH`` additionally writes a machine-readable report::
 
@@ -61,6 +68,29 @@ def load_report(path: pathlib.Path) -> dict:
     if not isinstance(metrics, dict):
         raise SystemExit(f"{path}: report has no 'metrics' object")
     return report
+
+
+def merge_best(reports: list) -> dict:
+    """Best-of-N merge of repeat runs: per metric, keep the highest
+    ops/sec (with its iteration count).  Scales must match — a metric
+    measured at different scales is not the same measurement."""
+    merged = reports[0]
+    if len(reports) == 1:
+        return merged
+    scales = {r.get("scale") for r in reports}
+    if len(scales) > 1:
+        raise SystemExit(
+            f"cannot merge runs at different scales: {sorted(scales)}"
+        )
+    metrics = dict(merged["metrics"])
+    for report in reports[1:]:
+        for name, m in report["metrics"].items():
+            best = metrics.get(name)
+            if best is None or m["ops_per_sec"] > best["ops_per_sec"]:
+                metrics[name] = m
+    merged = dict(merged)
+    merged["metrics"] = metrics
+    return merged
 
 
 def compare(baseline: dict, current: dict, threshold: float) -> dict:
@@ -128,7 +158,13 @@ def compare(baseline: dict, current: dict, threshold: float) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=pathlib.Path)
-    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument(
+        "current",
+        type=pathlib.Path,
+        nargs="+",
+        help="one or more current-run reports; repeat runs are merged "
+        "best-of-N per metric before comparing",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -150,9 +186,8 @@ def main(argv=None) -> int:
         "without it the comparison is report-only",
     )
     args = parser.parse_args(argv)
-    report = compare(
-        load_report(args.baseline), load_report(args.current), args.threshold
-    )
+    current = merge_best([load_report(p) for p in args.current])
+    report = compare(load_report(args.baseline), current, args.threshold)
     if args.json is not None:
         args.json.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"

@@ -68,6 +68,7 @@ class BTreeNode:
         "prev_leaf",
         "next_leaf",
         "cached_bytes",
+        "columns",
     )
 
     def __init__(self, page_id: int, is_leaf: bool):
@@ -81,7 +82,11 @@ class BTreeNode:
         self.next_leaf = NO_PAGE
         # Page image matching the current state (see repro.rtree.node.Node);
         # the buffer pool clears it on mark_dirty and reuses it on writes.
+        # ``columns`` is part of the same buffer-pool node contract (the
+        # pool invalidates it on mark_dirty); a B+-tree has no coordinate
+        # columns, so it simply stays None.
         self.cached_bytes = None
+        self.columns = None
 
     def __len__(self) -> int:
         return len(self.keys)

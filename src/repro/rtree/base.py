@@ -35,6 +35,7 @@ from typing import (
     Tuple,
 )
 
+from repro import kernels
 from repro.storage.buffer import BufferPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,7 +46,17 @@ from .geometry import Rect
 from .node import IndexEntry, LeafEntry, Node
 from .split import choose_reinsert_entries, quadratic_split, rstar_split
 
+#: Hot-path marker for lint rule REP009: bulk MBR predicates in this module
+#: must go through :mod:`repro.kernels` (see docs/LINT.md).
+HOT_PATH = True
+
 SplitFunction = Callable[[Sequence, int], Tuple[list, list]]
+
+#: Consecutive mutation-free range searches before a query mirror is built.
+#: Hysteresis: mixed update/query phases never pay the build walk, while a
+#: query burst (the paper's range-query experiments) amortises one build
+#: over hundreds of windows.
+MIRROR_QUERY_STREAK = 16
 
 _SPLIT_FUNCTIONS: Dict[str, SplitFunction] = {
     "rstar": rstar_split,
@@ -113,6 +124,13 @@ class RTreeBase:
 
         #: child page id -> parent page id (root has no entry).
         self.parent: Dict[int, int] = {}
+
+        #: Query mirror state (see :mod:`repro.rtree.mirror`).  The mirror
+        #: is valid only while its captured buffer version matches; the
+        #: streak counts consecutive range searches at one version.
+        self._mirror = None
+        self._mirror_streak = 0
+        self._mirror_streak_version = -1
 
         #: Observability handle (None = disabled).  The protocol entry
         #: points (update/query/kNN) guard on it, so the un-instrumented
@@ -317,60 +335,33 @@ class RTreeBase:
         children; everywhere else it minimises area enlargement (ties by
         area).
         """
-        entries = node.entries
-        if len(entries) == 1:
+        n = len(node.entries)
+        if n == 1:
             return 0
         rx1, ry1, rx2, ry2 = rect.xmin, rect.ymin, rect.xmax, rect.ymax
-        coords = []
-        enlargements = []
-        for i, e in enumerate(entries):
-            er = e.rect
-            ex1, ey1, ex2, ey2 = er.xmin, er.ymin, er.xmax, er.ymax
-            coords.append((ex1, ey1, ex2, ey2))
-            ux1 = ex1 if ex1 < rx1 else rx1
-            uy1 = ey1 if ey1 < ry1 else ry1
-            ux2 = ex2 if ex2 > rx2 else rx2
-            uy2 = ey2 if ey2 > ry2 else ry2
-            area = (ex2 - ex1) * (ey2 - ey1)
-            enlargements.append(
-                ((ux2 - ux1) * (uy2 - uy1) - area, area, i)
-            )
+        block = node.coord_block()
+        enls, node_areas = kernels.enlargements(block, rx1, ry1, rx2, ry2)
         if not leaf_children:
-            return min(enlargements)[2]
+            return min(zip(enls, node_areas, range(n)))[2]
 
-        enlargements.sort()
-        if enlargements[0][0] == 0.0:
+        ranked = sorted(zip(enls, node_areas, range(n)))
+        if ranked[0][0] == 0.0:
             # The new rect fits a child MBR without growing it: that child
             # cannot increase any overlap, so (overlap-delta, enlargement,
             # area) is already minimal for the least-area such child.
-            return enlargements[0][2]
-        candidates = enlargements[: self.choose_subtree_candidates]
+            return ranked[0][2]
+        candidates = ranked[: self.choose_subtree_candidates]
         best_idx = candidates[0][2]
         best_key: Optional[Tuple[float, float, float]] = None
         for enlargement, area, i in candidates:
-            ex1, ey1, ex2, ey2 = coords[i]
+            ex1, ey1, ex2, ey2 = kernels.block_get(block, i)
             nx1 = ex1 if ex1 < rx1 else rx1
             ny1 = ey1 if ey1 < ry1 else ry1
             nx2 = ex2 if ex2 > rx2 else rx2
             ny2 = ey2 if ey2 > ry2 else ry2
-            overlap_delta = 0.0
-            for j, (ox1, oy1, ox2, oy2) in enumerate(coords):
-                if j == i:
-                    continue
-                w = (nx2 if nx2 < ox2 else ox2) - (nx1 if nx1 > ox1 else ox1)
-                if w > 0.0:
-                    h = (ny2 if ny2 < oy2 else oy2) - (
-                        ny1 if ny1 > oy1 else oy1
-                    )
-                    if h > 0.0:
-                        overlap_delta += w * h
-                w = (ex2 if ex2 < ox2 else ox2) - (ex1 if ex1 > ox1 else ox1)
-                if w > 0.0:
-                    h = (ey2 if ey2 < oy2 else oy2) - (
-                        ey1 if ey1 > oy1 else oy1
-                    )
-                    if h > 0.0:
-                        overlap_delta -= w * h
+            overlap_delta = kernels.overlap_delta(
+                block, i, nx1, ny1, nx2, ny2
+            )
             key = (overlap_delta, enlargement, area)
             if best_key is None or key < best_key:
                 best_key = key
@@ -505,22 +496,65 @@ class RTreeBase:
         For the RUM-tree this is the *raw* answer set that the Update Memo
         then filters (Section 3.2.3); for the other trees it is the final
         answer.
+
+        Each visited node is tested with one bulk kernel call over its
+        coordinate column block; matching leaf entries are materialised
+        selectively, so a leaf with no hits never builds a single Python
+        object.
+
+        After :data:`MIRROR_QUERY_STREAK` consecutive mutation-free range
+        searches the tree builds a :class:`~repro.rtree.mirror.QueryMirror`
+        and answers from it instead of descending — same entries, and the
+        same buffered leaf reads are still charged (one per leaf whose
+        directory entry intersects the window), so every I/O metric is
+        unchanged.  Any mutation invalidates the mirror via the buffer
+        version counter.  Entry *order* may differ between the two paths;
+        both are deterministic, neither is part of the API.
         """
+        buffer = self.buffer
+        wx1, wy1 = window.xmin, window.ymin
+        wx2, wy2 = window.xmax, window.ymax
+        version = buffer.version
+        mirror = self._mirror
+        if mirror is None or mirror.version != version:
+            self._mirror = mirror = None
+            if version != self._mirror_streak_version:
+                self._mirror_streak_version = version
+                self._mirror_streak = 1
+            else:
+                self._mirror_streak += 1
+                if self._mirror_streak >= MIRROR_QUERY_STREAK:
+                    from .mirror import build_mirror
+
+                    self._mirror = mirror = build_mirror(
+                        buffer, self.root_id
+                    )
+        if mirror is not None:
+            leaf_ids, results = mirror.search(wx1, wy1, wx2, wy2)
+            if buffer.in_operation:
+                # Inside an outer operation the charged reads must land in
+                # its cache so later touches of the same leaves stay free.
+                get_node = buffer.get_node
+                for page_id in leaf_ids:
+                    get_node(page_id)
+            else:
+                buffer.charge_leaf_reads(leaf_ids)
+            return results
         results: List[LeafEntry] = []
-        with self.buffer.operation():
+        with buffer.operation():
             stack = [self.root_id]
             while stack:
-                node = self.buffer.get_node(stack.pop())
+                node = buffer.get_node(stack.pop())
+                hits = kernels.intersect_indices(
+                    node.coord_block(), wx1, wy1, wx2, wy2
+                )
+                if not hits:
+                    continue
                 if node.is_leaf:
-                    results.extend(
-                        e for e in node.entries if e.rect.intersects(window)
-                    )
+                    results.extend(node.take(hits))
                 else:
-                    stack.extend(
-                        e.child_id
-                        for e in node.entries
-                        if e.rect.intersects(window)
-                    )
+                    entries = node.entries
+                    stack.extend(entries[i].child_id for i in hits)
         return results
 
     def nearest_entries(self, x: float, y: float, k: int) -> List[LeafEntry]:
@@ -550,8 +584,14 @@ class RTreeBase:
         reads needed to guarantee the next entry is globally nearest,
         which is what lets a filtered consumer (the RUM-tree) pull extra
         candidates only when obsolete entries were skipped.
+
+        The heap orders by *squared* MINDIST (one bulk kernel call per
+        visited node) — identical ordering, no per-entry ``hypot`` — and
+        leaf entries stay as ``(node, slot)`` references until popped, so
+        only entries that actually surface are materialised.
         """
         import heapq
+        import math
 
         counter = 0  # tie-breaker so heap items never compare by payload
         heap: List[Tuple[float, int, bool, object]] = [
@@ -559,31 +599,25 @@ class RTreeBase:
         ]
         with self.buffer.operation():
             while heap:
-                dist, _tie, is_entry, payload = heapq.heappop(heap)
+                dist_sq, _tie, is_entry, payload = heapq.heappop(heap)
                 if is_entry:
-                    yield payload, dist
+                    leaf, slot = payload
+                    yield leaf.take((slot,))[0], math.sqrt(dist_sq)
                     continue
                 # Pages are only read when their heap item is popped, so
                 # leaves beyond the k-th neighbour's distance cost nothing.
                 node = self.buffer.get_node(payload)
+                dists = kernels.min_dist_sq(node.coord_block(), x, y)
                 if node.is_leaf:
-                    for entry in node.entries:
+                    for i, d in enumerate(dists):
                         counter += 1
-                        heapq.heappush(
-                            heap,
-                            (entry.rect.min_dist(x, y), counter, True, entry),
-                        )
+                        heapq.heappush(heap, (d, counter, True, (node, i)))
                 else:
-                    for index_entry in node.entries:
+                    entries = node.entries
+                    for i, d in enumerate(dists):
                         counter += 1
                         heapq.heappush(
-                            heap,
-                            (
-                                index_entry.rect.min_dist(x, y),
-                                counter,
-                                False,
-                                index_entry.child_id,
-                            ),
+                            heap, (d, counter, False, entries[i].child_id)
                         )
 
     # ------------------------------------------------------------------
@@ -611,6 +645,8 @@ class RTreeBase:
     def _find_leaf_entry(
         self, oid: int, rect: Rect
     ) -> Optional[Tuple[Node, int]]:
+        rx1, ry1 = rect.xmin, rect.ymin
+        rx2, ry2 = rect.xmax, rect.ymax
         stack = [self.root_id]
         while stack:
             node = self.buffer.get_node(stack.pop())
@@ -619,11 +655,12 @@ class RTreeBase:
                     if entry.oid == oid and entry.rect == rect:
                         return node, i
             else:
-                stack.extend(
-                    e.child_id
-                    for e in node.entries
-                    if e.rect.contains(rect)
+                hits = kernels.contain_indices(
+                    node.coord_block(), rx1, ry1, rx2, ry2
                 )
+                if hits:
+                    entries = node.entries
+                    stack.extend(entries[i].child_id for i in hits)
         return None
 
     def _condense(self, leaf: Node) -> None:

@@ -8,6 +8,15 @@ query windows, and the windows of Lemma 2 in the cost analysis.
 Rectangles are closed, immutable, and represented by their two corners
 ``(xmin, ymin, xmax, ymax)``.  Degenerate rectangles (points, segments) are
 valid: the paper's default workload indexes point objects (extent 0).
+
+``Rect`` methods are the *scalar* forms of these operations, used for
+one-off geometry (query construction, invariant checks, cost model).  The
+hot paths — range/kNN search, ChooseSubtree, splits, page decode — apply
+the same predicates to whole nodes at a time through the batch kernels in
+:mod:`repro.kernels`, which evaluate the identical IEEE-754 expressions
+over coordinate columns.  Changing a formula here without updating both
+kernel backends (and vice versa) breaks that equivalence; see
+``docs/KERNELS.md``.
 """
 
 from __future__ import annotations

@@ -17,9 +17,15 @@ the doubly-linked circular ring that the RUM-tree's cleaning tokens walk
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, List, Optional, Sequence, Union
+
+from repro import kernels
 
 from .geometry import Rect
+
+#: Hot-path marker for lint rule REP009: bulk MBR predicates in this module
+#: must go through :mod:`repro.kernels` (see docs/LINT.md).
+HOT_PATH = True
 
 #: Disk page id used to mean "no page".
 NO_PAGE = -1
@@ -109,11 +115,19 @@ class Node:
     clear it — :meth:`repro.storage.buffer.BufferPool.mark_dirty` does —
     so a non-``None`` value can always be written back verbatim, skipping
     a re-encode of never-dirtied pages.
+
+    ``columns`` caches the node's coordinate column block (see
+    :mod:`repro.kernels`): an immutable columnar snapshot of every entry
+    MBR that the batch kernels consume.  It shares ``cached_bytes``'s
+    invalidation contract exactly — ``mark_dirty`` clears both — so a
+    non-``None`` block always reflects the current entry list.  Internal
+    nodes amortise one block across many searches (they are pinned and
+    rarely mutate); leaf blocks live for the duration of one operation.
     """
 
     __slots__ = (
         "page_id", "is_leaf", "entries", "prev_leaf", "next_leaf",
-        "cached_bytes",
+        "cached_bytes", "columns",
     )
 
     def __init__(
@@ -130,10 +144,30 @@ class Node:
         self.prev_leaf = prev_leaf
         self.next_leaf = next_leaf
         self.cached_bytes: Optional[bytes] = None
+        self.columns: Optional[Any] = None
 
     def mbr(self) -> Rect:
         """The MBR covering all entries; raises on an empty node."""
         return Rect.union_all(e.rect for e in self.entries)
+
+    def coord_block(self) -> Any:
+        """The cached coordinate column block of this node's entry MBRs.
+
+        Built on first use and memoised in ``columns`` until the next
+        ``mark_dirty`` (see the class docstring for the invalidation
+        contract).  All bulk kernel calls against this node — search
+        masks, MINDIST scans, ChooseSubtree enlargements — consume this
+        one snapshot.
+        """
+        block = self.columns
+        if block is None:
+            block = self.columns = kernels.block_from_entries(self.entries)
+        return block
+
+    def take(self, indices: Sequence[int]) -> List[Entry]:
+        """The entries at ``indices``, in that order."""
+        entries = self.entries
+        return [entries[i] for i in indices]
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -173,6 +207,12 @@ class LazyNode(Node):
     ring's prev/next pointers) leaves the entry region valid, so thawing
     from ``_page_bytes`` stays sound.  Replacing ``entries`` wholesale goes
     through the property setter, which detaches the raw bytes.
+
+    While the node is unmaterialised, :meth:`coord_block` decodes the
+    coordinate columns straight off the raw page bytes (one bulk kernel
+    call, no entry objects) and :meth:`take` materialises only the
+    requested entries — together they let a range query test a whole leaf
+    and build objects for just the matches.
     """
 
     __slots__ = ("_entries", "_entry_count", "_codec", "_page_bytes")
@@ -192,6 +232,7 @@ class LazyNode(Node):
         self.prev_leaf = prev_leaf
         self.next_leaf = next_leaf
         self.cached_bytes = page_bytes
+        self.columns = None
         self._entries: Optional[List[Entry]] = None
         self._entry_count = entry_count
         self._codec = codec
@@ -210,6 +251,38 @@ class LazyNode(Node):
     def entries(self, value: List[Entry]) -> None:
         self._entries = value
         self._page_bytes = None
+        self.columns = None
+
+    def coord_block(self) -> Any:
+        """Column block, decoded from the raw page bytes when possible.
+
+        An unmaterialised leaf never builds entry objects for this: the
+        codec lifts the coordinate columns out of the page image in one
+        bulk call.  Once thawed (or rewritten), the block derives from the
+        live entry list like any other node.
+        """
+        block = self.columns
+        if block is None:
+            if self._entries is None:
+                block = self._codec.decode_block(
+                    self._entry_count, self._page_bytes
+                )
+            else:
+                block = kernels.block_from_entries(self._entries)
+            self.columns = block
+        return block
+
+    def take(self, indices: Sequence[int]) -> List[Entry]:
+        """The entries at ``indices``, materialising only those.
+
+        On an unmaterialised leaf this decodes just the requested slots
+        from the page image — the query hot path's selective
+        materialisation; a thawed leaf answers from the entry list.
+        """
+        entries = self._entries
+        if entries is None:
+            return self._codec.decode_entries_at(self._page_bytes, indices)
+        return [entries[i] for i in indices]
 
     @property
     def materialized(self) -> bool:

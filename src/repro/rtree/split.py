@@ -11,76 +11,27 @@ All functions are pure: they take a list of entries (anything with a
 ``.rect`` attribute) and return two lists.
 
 Splits happen on the insert hot path (every page overflow pays one), so the
-inner loops work on plain coordinate tuples and floats rather than
-:class:`~repro.rtree.geometry.Rect` objects: running prefix/suffix bounds
-are 4-tuples, margins/areas/overlaps are computed inline, and each sort
-order's goodness value is evaluated exactly once.
+scans run as batch kernels over a coordinate column block of the entries
+(:mod:`repro.kernels`): the per-axis stable sorts, the prefix/suffix
+running-bound tables with their margin sums, the distribution overlap/area
+scan, and the quadratic seed search are each one kernel call.  Only the
+O(candidates) selection loops and Guttman's inherently sequential greedy
+assignment remain scalar.  Both kernel backends return bit-identical
+numbers, so the chosen split — and therefore the tree shape — never
+depends on whether numpy is installed.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple, TypeVar
 
+from repro import kernels
+
 from .geometry import Rect
 
+HOT_PATH = True
+
 E = TypeVar("E")  # any entry type exposing .rect
-
-#: Prefix/suffix running bounds of a sorted entry sequence, as coordinate
-#: tuples: ``prefix[k]`` covers ``entries[:k+1]``, ``suffix[k]`` covers
-#: ``entries[k:]``.  With them the margin/overlap/area of every candidate
-#: distribution is available in O(1), making the R* split linear after
-#: sorting.
-_Bounds = List[Tuple[float, float, float, float]]
-
-
-def _split_tables(
-    sorted_entries: Sequence[E], min_entries: int
-) -> Tuple[_Bounds, _Bounds, float]:
-    """Prefix/suffix bounds plus the R* margin sum, in one pass each.
-
-    The margin sum (the R* "goodness value" used to pick the split axis)
-    adds the half-perimeters of both groups over all legal distributions.
-    """
-    n = len(sorted_entries)
-    prefix: _Bounds = []
-    append = prefix.append
-    r = sorted_entries[0].rect
-    x1, y1, x2, y2 = r.xmin, r.ymin, r.xmax, r.ymax
-    append((x1, y1, x2, y2))
-    for k in range(1, n):
-        r = sorted_entries[k].rect
-        if r.xmin < x1:
-            x1 = r.xmin
-        if r.ymin < y1:
-            y1 = r.ymin
-        if r.xmax > x2:
-            x2 = r.xmax
-        if r.ymax > y2:
-            y2 = r.ymax
-        append((x1, y1, x2, y2))
-    suffix: _Bounds = [prefix[0]] * n
-    r = sorted_entries[n - 1].rect
-    x1, y1, x2, y2 = r.xmin, r.ymin, r.xmax, r.ymax
-    suffix[n - 1] = (x1, y1, x2, y2)
-    for k in range(n - 2, -1, -1):
-        r = sorted_entries[k].rect
-        if r.xmin < x1:
-            x1 = r.xmin
-        if r.ymin < y1:
-            y1 = r.ymin
-        if r.xmax > x2:
-            x2 = r.xmax
-        if r.ymax > y2:
-            y2 = r.ymax
-        suffix[k] = (x1, y1, x2, y2)
-    margin = 0.0
-    for k in range(min_entries, n - min_entries + 1):
-        a = prefix[k - 1]
-        b = suffix[k]
-        margin += (
-            (a[2] - a[0]) + (a[3] - a[1]) + (b[2] - b[0]) + (b[3] - b[1])
-        )
-    return prefix, suffix, margin
 
 
 def rstar_split(
@@ -103,31 +54,24 @@ def rstar_split(
     # Evaluate each sort order's margin sum exactly once; ties resolve in
     # sort-order precedence (x before y, lower before upper coordinate),
     # matching nested min() over (by_low, by_high) per axis then axes.
+    # Column dims: 0=xmin, 1=ymin, 2=xmax, 3=ymax.
+    block = kernels.block_from_entries(entries)
     best = None
-    for key in (
-        lambda e: e.rect.xmin,
-        lambda e: e.rect.xmax,
-        lambda e: e.rect.ymin,
-        lambda e: e.rect.ymax,
-    ):
-        s = sorted(entries, key=key)
-        tables = _split_tables(s, min_entries)
-        if best is None or tables[2] < best[1][2]:
-            best = (s, tables)
-    axis_entries, (prefix, suffix, _) = best
+    for dim in (0, 2, 1, 3):
+        order = kernels.argsort(block, dim)
+        margin, prefix, suffix = kernels.split_tables(
+            block, order, min_entries
+        )
+        if best is None or margin < best[0]:
+            best = (margin, order, prefix, suffix)
+    _margin, order, prefix, suffix = best
 
+    overlaps, areas = kernels.distribution_scan(prefix, suffix, min_entries)
     best_k = min_entries
     best_overlap = best_area = None
-    for k in range(min_entries, n - min_entries + 1):
-        ax1, ay1, ax2, ay2 = prefix[k - 1]
-        bx1, by1, bx2, by2 = suffix[k]
-        overlap = 0.0
-        w = (ax2 if ax2 < bx2 else bx2) - (ax1 if ax1 > bx1 else bx1)
-        if w > 0.0:
-            h = (ay2 if ay2 < by2 else by2) - (ay1 if ay1 > by1 else by1)
-            if h > 0.0:
-                overlap = w * h
-        area = (ax2 - ax1) * (ay2 - ay1) + (bx2 - bx1) * (by2 - by1)
+    for j, k in enumerate(range(min_entries, n - min_entries + 1)):
+        overlap = overlaps[j]
+        area = areas[j]
         if (
             best_overlap is None
             or overlap < best_overlap
@@ -136,7 +80,8 @@ def rstar_split(
             best_overlap = overlap
             best_area = area
             best_k = k
-    return list(axis_entries[:best_k]), list(axis_entries[best_k:])
+    axis_entries = [entries[i] for i in order]
+    return axis_entries[:best_k], axis_entries[best_k:]
 
 
 def quadratic_split(
@@ -144,8 +89,9 @@ def quadratic_split(
 ) -> Tuple[List[E], List[E]]:
     """Guttman's quadratic split (the original R-tree [6]).
 
-    Seeds are the pair wasting the most area if grouped together; remaining
-    entries are assigned greedily by largest preference difference.
+    Seeds are the pair wasting the most area if grouped together (an
+    O(n^2) kernel scan); remaining entries are assigned greedily by
+    largest preference difference.
     """
     n = len(entries)
     if n < 2 * min_entries:
@@ -153,28 +99,10 @@ def quadratic_split(
             f"cannot split {n} entries with minimum {min_entries}"
         )
     pool = list(entries)
-    coords = [
-        (r.xmin, r.ymin, r.xmax, r.ymax) for r in (e.rect for e in pool)
-    ]
-    areas = [(c[2] - c[0]) * (c[3] - c[1]) for c in coords]
-
-    # Pick seeds: the pair with maximal dead space (O(n^2) over floats).
-    worst = -1.0
-    seed_a = seed_b = 0
-    for i in range(n):
-        ax1, ay1, ax2, ay2 = coords[i]
-        area_i = areas[i]
-        for j in range(i + 1, n):
-            bx1, by1, bx2, by2 = coords[j]
-            waste = (
-                ((ax2 if ax2 > bx2 else bx2) - (ax1 if ax1 < bx1 else bx1))
-                * ((ay2 if ay2 > by2 else by2) - (ay1 if ay1 < by1 else by1))
-                - area_i
-                - areas[j]
-            )
-            if waste > worst:
-                worst = waste
-                seed_a, seed_b = i, j
+    block = kernels.block_from_entries(pool)
+    coords = kernels.block_rows(block)
+    areas = kernels.areas(block)
+    seed_a, seed_b = kernels.quadratic_seeds(block)
     left = [pool[seed_a]]
     right = [pool[seed_b]]
     rest = [
@@ -256,7 +184,9 @@ def choose_reinsert_entries(
 
     Returns ``(keep, reinsert)`` where ``reinsert`` holds the ``fraction``
     of entries whose centres lie farthest from the node MBR's centre,
-    ordered farthest-first (the R* "far reinsert" variant).
+    ordered farthest-first (the R* "far reinsert" variant).  Stays scalar:
+    one pass over the entries with a sort — no distribution tables for a
+    kernel to amortise.
     """
     if not entries:
         raise ValueError("cannot reinsert from an empty node")

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Set
 
 from .disk import PageStore
 from .iostats import IOStats
@@ -49,6 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.rtree.node import Node
 
     from .codec import NodeCodec
+
+
+#: Hot-path marker for lint rule REP009: bulk MBR predicates in this module
+#: must go through :mod:`repro.kernels` (see docs/LINT.md).
+HOT_PATH = True
 
 
 @dataclass
@@ -69,6 +74,30 @@ class BatchScopeStats:
         return max(0, self.write_marks - self.pages_written)
 
 
+class _OperationScope:
+    """Reusable, stateless context manager for :meth:`BufferPool.operation`.
+
+    The operation scope sits on every query and update hot path; a shared
+    ``__slots__`` instance avoids the generator machinery a
+    ``@contextmanager`` would allocate per entry.  All state (the nesting
+    depth) lives on the pool, so one instance serves nested uses too.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool: "BufferPool") -> None:
+        self._pool = pool
+
+    def __enter__(self) -> None:
+        self._pool._op_depth += 1
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pool = self._pool
+        pool._op_depth -= 1
+        if pool._op_depth == 0:
+            pool._flush_op_cache()
+
+
 class BufferPool:
     """Operation-scoped leaf cache plus a pinned internal-node cache.
 
@@ -78,6 +107,12 @@ class BufferPool:
     the default is 0; the buffer-size ablation uses positive values to
     show how a real buffer manager would shrink all measured costs without
     changing any of the comparisons.
+
+    ``version`` is a monotone counter bumped by every state-changing call
+    (``mark_dirty``, ``free_node``, ``drop_volatile``).  Volatile
+    acceleration structures snapshot it when built and compare it on use:
+    an equal version guarantees no page the structure summarises has
+    changed since (see :mod:`repro.rtree.mirror`).
     """
 
     def __init__(
@@ -98,6 +133,9 @@ class BufferPool:
         self.codec = codec
         self.stats = stats
         self.leaf_cache_pages = leaf_cache_pages
+        #: Monotone modification counter (see the class docstring).
+        self.version = 0
+        self._op_scope = _OperationScope(self)
         self._internal_cache: Dict[int, "Node"] = {}
         self._dirty_internal: Set[int] = set()
         self._op_leaf_cache: Dict[int, "Node"] = {}
@@ -152,21 +190,14 @@ class BufferPool:
 
     # -- operation scope ---------------------------------------------------
 
-    @contextmanager
-    def operation(self) -> Iterator[None]:
+    def operation(self) -> _OperationScope:
         """Group page accesses into one logical operation.
 
         Nested uses are flattened into the outermost operation, so a
         clean-upon-touch step nested inside an insert shares the insert's
         page accesses, as in the paper.
         """
-        self._op_depth += 1
-        try:
-            yield
-        finally:
-            self._op_depth -= 1
-            if self._op_depth == 0:
-                self._flush_op_cache()
+        return self._op_scope
 
     @contextmanager
     def batch_scope(self) -> Iterator[BatchScopeStats]:
@@ -308,14 +339,81 @@ class BufferPool:
             self._internal_cache[page_id] = node
         return node
 
+    def charge_leaf_reads(self, page_ids: Iterable[int]) -> None:
+        """Charge buffered leaf reads without materialising the nodes.
+
+        Accounting-equivalent to ``get_node`` on each page inside one
+        :meth:`operation`, for callers that already know the pages'
+        contents (the query mirror answers from memory but must still pay
+        the paper's per-leaf read cost): cache hits and misses are
+        recorded identically, checksums are still verified on every page
+        actually read, and with a resident LRU configured the decoded
+        page enters the LRU exactly as an operation flush would have left
+        it.  Callers must pass distinct page ids and must not be inside
+        an open operation (an operation's cache would have deduplicated
+        repeat reads; this path has no cache to do so).
+        """
+        hits = self._obs_hits
+        lru = self._lru
+        record_read = self.stats.record_read
+        read_page = self.disk.read_page
+        verify = self.codec.checksums
+        for page_id in page_ids:
+            if page_id in lru:
+                self._lru_get(page_id)  # refresh recency
+                if hits is not None:
+                    hits.inc()
+                continue
+            data = read_page(page_id)
+            record_read(True)
+            if self._obs_misses is not None:
+                self._obs_misses.inc()
+            if self.leaf_cache_pages:
+                self._lru_insert(
+                    page_id,
+                    self.codec.decode(page_id, data, lazy=True),
+                    dirty=False,
+                )
+            elif verify:
+                self.codec.verify_page(page_id, data)
+
+    def peek_node(self, page_id: int) -> "Node":
+        """Read a node *without* charging I/O or touching any cache.
+
+        Serves from whichever cache currently holds the page (so dirty
+        in-memory state is always visible) and otherwise decodes straight
+        off the disk image; the decoded node is deliberately **not**
+        entered into any cache and no read is recorded.  This is the
+        accessor for volatile acceleration structures — e.g. the query
+        mirror's build walk — whose construction must not perturb the
+        paper's leaf-I/O accounting.  It must never be used on an
+        operation's data path: pages read here bypass the once-per-
+        operation accounting contract entirely.
+        """
+        node = self._internal_cache.get(page_id)
+        if node is not None:
+            return node
+        node = self._op_leaf_cache.get(page_id)
+        if node is not None:
+            return node
+        node = self._lru.get(page_id)
+        if node is not None:
+            return node
+        return self.codec.decode(
+            page_id, self.disk.peek(page_id), lazy=True
+        )
+
     def mark_dirty(self, node: "Node") -> None:
         """Record that ``node`` was modified and must reach disk.
 
-        Also invalidates the node's cached page image: the in-memory state
-        has diverged from the bytes it was decoded from (or last encoded
-        to), so the next write must re-encode.
+        Also invalidates the node's cached page image and coordinate
+        column block: the in-memory state has diverged from the bytes it
+        was decoded from (or last encoded to), so the next write must
+        re-encode and the next kernel call must rebuild its columns.
         """
+        self.version += 1
         node.cached_bytes = None
+        node.columns = None
         if node.is_leaf:
             batch = self._batch
             if batch is not None:
@@ -353,6 +451,7 @@ class BufferPool:
 
     def free_node(self, node: "Node") -> None:
         """Release a node's page (leaf condense / root collapse)."""
+        self.version += 1
         page_id = node.page_id
         self._internal_cache.pop(page_id, None)
         self._dirty_internal.discard(page_id)
@@ -411,6 +510,7 @@ class BufferPool:
         Section 3.4: ``flush(); drop_volatile()`` leaves the on-disk tree
         intact while discarding every in-memory structure.
         """
+        self.version += 1
         self._internal_cache.clear()
         self._dirty_internal.clear()
         self._op_leaf_cache.clear()

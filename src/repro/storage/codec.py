@@ -69,9 +69,10 @@ checksums that happen to be 0 are remapped so 0 is never written.
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 from zlib import crc32
 
+from repro import kernels
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
     CLASSIC_LEAF_ENTRY_BYTES,
@@ -85,6 +86,10 @@ from repro.rtree.node import (
     index_capacity,
     leaf_capacity,
 )
+
+#: Hot-path marker for lint rule REP009: bulk MBR predicates in this module
+#: must go through :mod:`repro.kernels` (see docs/LINT.md).
+HOT_PATH = True
 
 _HEADER_FMT = "BxHxxxxqqI4x"
 _HEADER = struct.Struct("<" + _HEADER_FMT)
@@ -296,6 +301,13 @@ class NodeCodec:
         back as a :class:`~repro.rtree.node.LazyNode` whose entries thaw on
         first access; internal pages always decode eagerly (they live in
         the pinned directory cache and are read constantly).
+
+        With ``lazy=False`` a leaf comes back *column-eager*: still a
+        ``LazyNode`` (so untouched entries never become Python objects),
+        but with its coordinate column block decoded up front in one bulk
+        kernel call.  That block is the representation the query hot
+        paths actually consume — ``entries`` remains available and thaws
+        to exactly what the old eager decode produced.
         """
         if len(data) != self.node_size:
             raise ValueError(
@@ -308,10 +320,15 @@ class NodeCodec:
             data
         )
         is_leaf = bool(is_leaf_flag)
-        if lazy and is_leaf:
-            return LazyNode(
+        if is_leaf:
+            node: Node = LazyNode(
                 page_id, is_leaf, count, prev_leaf, next_leaf, self, data
             )
+            if not lazy:
+                node.columns = kernels.block_from_buffer(
+                    data, NODE_HEADER_BYTES, count, self.leaf_entry_bytes
+                )
+            return node
         node = Node(
             page_id,
             is_leaf,
@@ -321,6 +338,71 @@ class NodeCodec:
         )
         node.cached_bytes = data
         return node
+
+    def decode_block(self, count: int, data: bytes) -> Any:
+        """Coordinate column block of a leaf page's entry region.
+
+        One bulk kernel call over the raw page bytes — no per-entry
+        ``struct`` unpacking and no entry objects.  The id/stamp words of
+        each entry are never touched; they are materialised on demand by
+        :meth:`decode_entries_at` (or a full thaw) when a query actually
+        selects the entry.
+        """
+        return kernels.block_from_buffer(
+            data, NODE_HEADER_BYTES, count, self.leaf_entry_bytes
+        )
+
+    def decode_entries_at(
+        self, data: bytes, indices: Sequence[int]
+    ) -> List[Any]:
+        """Materialise only the leaf entries at ``indices`` of a page.
+
+        The selective half of the columnar read path: after a kernel mask
+        picks the matching slots, just those entries are decoded with a
+        single-entry struct per slot.  Builds objects exactly like
+        :meth:`decode_entries` does, so selected entries compare equal to
+        a full thaw's.
+        """
+        out: List[Any] = []
+        append = out.append
+        new_rect = Rect.__new__
+        new_entry = LeafEntry.__new__
+        base = NODE_HEADER_BYTES
+        if self.rum_leaves:
+            one = _batch_struct(_RUM_FMT, 1)
+            stride = RUM_LEAF_ENTRY_BYTES
+            for i in indices:
+                x1, y1, x2, y2, _p_o, oid, stamp = one.unpack_from(
+                    data, base + i * stride
+                )
+                r = new_rect(Rect)
+                r.xmin = x1
+                r.ymin = y1
+                r.xmax = x2
+                r.ymax = y2
+                e = new_entry(LeafEntry)
+                e.rect = r
+                e.oid = oid
+                e.stamp = stamp
+                append(e)
+        else:
+            one = _batch_struct(_CLASSIC_FMT, 1)
+            stride = CLASSIC_LEAF_ENTRY_BYTES
+            for i in indices:
+                x1, y1, x2, y2, oid = one.unpack_from(
+                    data, base + i * stride
+                )
+                r = new_rect(Rect)
+                r.xmin = x1
+                r.ymin = y1
+                r.xmax = x2
+                r.ymax = y2
+                e = new_entry(LeafEntry)
+                e.rect = r
+                e.oid = oid
+                e.stamp = 0
+                append(e)
+        return out
 
     def verify_page(self, page_id: int, data: bytes) -> None:
         """Raise :class:`PageChecksumError` when ``data`` fails its stored

@@ -1,0 +1,295 @@
+"""Property tests pinning the kernel backends' bit-identical contract.
+
+The numpy backend must reproduce the scalar reference exactly — same
+indices, same floats to the last bit — across random geometry and the
+degenerate shapes R-trees actually produce (points, zero-width and
+zero-height segments, rectangles sharing edges).  Both input
+representations are exercised: *entry-born* list-column blocks and
+*buffer-born* blocks decoded from a packed page image, including sizes on
+both sides of the numpy backend's vectorisation cutoffs (below them the
+numpy backend delegates to the scalar code; above them it must vectorise
+to the identical answer).
+
+Floats are compared by their IEEE-754 bit patterns (``struct.pack``), not
+``==``: the contract is bit-identity, and ``==`` would let ``-0.0`` pass
+for ``0.0``.
+
+The final test pins the query mirror (:mod:`repro.rtree.mirror`) to the
+tree traversal it replaces: identical result multisets *and* identical
+counted leaf I/O on randomised update/query workloads.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.kernels._python as pyk
+from repro.rtree.geometry import Rect
+from repro.rtree.node import LeafEntry
+
+try:
+    import repro.kernels._numpy as npk
+except ImportError:  # numpy not installed: only the mirror tests run
+    npk = None
+
+needs_numpy = pytest.mark.skipif(
+    npk is None, reason="numpy backend not importable"
+)
+
+# Shared coordinate pool so touching edges, shared corners, and exact
+# duplicates occur constantly, mixed with arbitrary finite floats.
+_COORD = st.one_of(
+    st.sampled_from([-2.0, -1.0, -0.5, -0.0, 0.0, 0.25, 0.5, 1.0, 2.0]),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+#: (xmin, ymin, xmax, ymax); degenerate (point/segment) rects included.
+_RECT = st.tuples(_COORD, _COORD, _COORD, _COORD).map(
+    lambda t: (
+        min(t[0], t[2]),
+        min(t[1], t[3]),
+        max(t[0], t[2]),
+        max(t[1], t[3]),
+    )
+)
+
+# Sizes straddle the numpy backend's vectorisation cutoffs (64 for the
+# linear split scans, 16 for the quadratic seed search).
+_RECTS = st.lists(_RECT, min_size=1, max_size=80)
+
+_HEADER = 32
+_STRIDE = 56  # RUM leaf layout: 4 float64 coords + id/stamp words
+
+
+def _entries(rects):
+    return [
+        LeafEntry(Rect(x1, y1, x2, y2), oid=i, stamp=i)
+        for i, (x1, y1, x2, y2) in enumerate(rects)
+    ]
+
+
+def _page_image(rects) -> bytes:
+    """A packed entry region shaped like a real RUM leaf page."""
+    parts = [b"\x00" * _HEADER]
+    pad = b"\x00" * (_STRIDE - 32)
+    for x1, y1, x2, y2 in rects:
+        parts.append(struct.pack("<4d", x1, y1, x2, y2) + pad)
+    return b"".join(parts)
+
+
+def _blocks(rects):
+    """Every (backend, block) pair that must agree on ``rects``."""
+    page = _page_image(rects)
+    n = len(rects)
+    pairs = [
+        (pyk, pyk.block_from_entries(_entries(rects))),
+        (pyk, pyk.block_from_buffer(page, _HEADER, n, _STRIDE)),
+    ]
+    if npk is not None:
+        pairs.append((npk, npk.block_from_entries(_entries(rects))))
+        pairs.append((npk, npk.block_from_buffer(page, _HEADER, n, _STRIDE)))
+    return pairs
+
+
+def _bits(values):
+    """Bit-pattern image of a float list (exact comparison, -0.0 != 0.0)."""
+    return [struct.pack("<d", v) for v in values]
+
+
+def _assert_all_equal(results, label):
+    reference = results[0]
+    for other in results[1:]:
+        assert other == reference, label
+
+
+@needs_numpy
+@given(rects=_RECTS)
+@settings(max_examples=60, deadline=None)
+def test_block_rows_and_areas_identical(rects):
+    rows = [
+        [tuple(r) for r in impl.block_rows(block)]
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(rows, "block_rows")
+    gets = [
+        [impl.block_get(block, i) for i in range(len(rects))]
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(gets, "block_get")
+    area_bits = [
+        _bits(impl.areas(block)) for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(area_bits, "areas")
+
+
+@needs_numpy
+@given(rects=_RECTS, window=_RECT)
+@settings(max_examples=60, deadline=None)
+def test_predicate_masks_identical(rects, window):
+    wx1, wy1, wx2, wy2 = window
+    inter = [
+        impl.intersect_indices(block, wx1, wy1, wx2, wy2)
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(inter, "intersect_indices")
+    contain = [
+        impl.contain_indices(block, wx1, wy1, wx2, wy2)
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(contain, "contain_indices")
+
+
+@needs_numpy
+@given(rects=_RECTS, point=st.tuples(_COORD, _COORD))
+@settings(max_examples=60, deadline=None)
+def test_min_dist_sq_identical(rects, point):
+    x, y = point
+    dists = [
+        _bits(impl.min_dist_sq(block, x, y))
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(dists, "min_dist_sq")
+
+
+@needs_numpy
+@given(rects=_RECTS, new=_RECT, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_enlargements_and_overlap_delta_identical(rects, new, data):
+    rx1, ry1, rx2, ry2 = new
+    enl = []
+    for impl, block in _blocks(rects):
+        e, a = impl.enlargements(block, rx1, ry1, rx2, ry2)
+        enl.append((_bits(e), _bits(a)))
+    _assert_all_equal(enl, "enlargements")
+    i = data.draw(st.integers(min_value=0, max_value=len(rects) - 1))
+    ex1, ey1, ex2, ey2 = rects[i]
+    nx1, ny1 = min(ex1, rx1), min(ey1, ry1)
+    nx2, ny2 = max(ex2, rx2), max(ey2, ry2)
+    deltas = [
+        _bits([impl.overlap_delta(block, i, nx1, ny1, nx2, ny2)])
+        for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(deltas, "overlap_delta")
+
+
+@needs_numpy
+@given(rects=st.lists(_RECT, min_size=2, max_size=80), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_split_scans_identical(rects, data):
+    n = len(rects)
+    min_entries = data.draw(st.integers(min_value=1, max_value=n // 2))
+    dim = data.draw(st.integers(min_value=0, max_value=3))
+    orders = [
+        impl.argsort(block, dim) for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(orders, "argsort")
+    order = orders[0]
+    outcomes = []
+    for impl, block in _blocks(rects):
+        margin, prefix, suffix = impl.split_tables(
+            block, order, min_entries
+        )
+        overlaps, combined = impl.distribution_scan(
+            prefix, suffix, min_entries
+        )
+        outcomes.append(
+            (_bits([margin]), _bits(overlaps), _bits(combined))
+        )
+    _assert_all_equal(outcomes, "split_tables/distribution_scan")
+
+
+@needs_numpy
+@given(rects=st.lists(_RECT, min_size=2, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_quadratic_seeds_identical(rects):
+    seeds = [
+        impl.quadratic_seeds(block) for impl, block in _blocks(rects)
+    ]
+    _assert_all_equal(seeds, "quadratic_seeds")
+
+
+@needs_numpy
+def test_all_ties_degenerate_keeps_historical_seeds():
+    # Identical rectangles everywhere: every pairing wastes the same
+    # (negative) area, the scalar threshold never fires, and both
+    # backends must answer (0, 0) — on both representations, above and
+    # below the vectorisation cutoff.
+    for n in (3, 32):
+        rects = [(0.0, 0.0, 1.0, 1.0)] * n
+        for impl, block in _blocks(rects):
+            assert impl.quadratic_seeds(block) == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Query mirror vs. tree traversal
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 17, 88])
+def test_mirror_matches_traversal_results_and_io(seed):
+    """The grid mirror must return the same entries as a tree walk and
+    charge exactly the same counted leaf reads, query by query."""
+    from repro.experiments.harness import make_tree
+    from repro.rtree.base import MIRROR_QUERY_STREAK
+
+    rng = random.Random(seed)
+    tree = make_tree("rum_touch", node_size=2048)
+    rects = {}
+    for oid in range(800):
+        x, y = rng.random() * 0.99, rng.random() * 0.99
+        rects[oid] = Rect(x, y, x + 0.004, y + 0.004)
+        tree.insert_object(oid, rects[oid])
+    for oid in range(0, 800, 5):
+        x, y = rng.random() * 0.99, rng.random() * 0.99
+        new = Rect(x, y, x + 0.004, y + 0.004)
+        tree.update_object(oid, rects[oid], new)
+        rects[oid] = new
+
+    side = 0.02
+    windows = [
+        Rect(x, y, x + side, y + side)
+        for x, y in (
+            (rng.random() * (1 - side), rng.random() * (1 - side))
+            for _ in range(40)
+        )
+    ]
+    stats = tree.buffer.stats
+
+    def measure(window):
+        before = stats.leaf_reads
+        found = tree.search(window)
+        return sorted(found), stats.leaf_reads - before
+
+    truth = []
+    for window in windows:
+        tree._mirror = None
+        tree._mirror_streak = 0
+        tree._mirror_streak_version = -1
+        truth.append(measure(window))
+
+    tree._mirror = None
+    tree._mirror_streak = 0
+    tree._mirror_streak_version = -1
+    for window in windows[:MIRROR_QUERY_STREAK]:
+        tree.search(window)
+    assert tree._mirror is not None, "mirror not built after streak"
+    for window, (expect_results, expect_io) in zip(windows, truth):
+        got_results, got_io = measure(window)
+        assert got_results == expect_results
+        assert got_io == expect_io
+        assert tree._mirror is not None
+
+    # Any mutation must invalidate the mirror before the next search.
+    oid = 1
+    x, y = rng.random() * 0.99, rng.random() * 0.99
+    tree.update_object(oid, rects[oid], Rect(x, y, x + 0.004, y + 0.004))
+    assert tree._mirror.version != tree.buffer.version
+    tree.search(windows[0])
+    assert tree._mirror is None
