@@ -28,6 +28,7 @@ two such files and flags regressions.  Iteration counts scale with
 
 from __future__ import annotations
 
+import gc
 import json
 import pathlib
 import random
@@ -275,7 +276,7 @@ def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:
         MIRROR_QUERY_STREAK + 8
     ):
         tree.search(window)
-    n_queries = scaled(200)
+    n_queries = scaled(2000)
     queries = measure_queries(
         tree, RangeQueryGenerator(seed=2), n_queries
     )
@@ -286,6 +287,149 @@ def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:
         ),
         "iterations": queries.queries,
     }
+
+
+#: Updates/queries per timed slice of the interleaved obs A/B.
+AB_CHUNK = 100
+
+#: Independent passes of the paired A/B; per-leg times take the minimum
+#: across passes, which discards passes hit by host-steal episodes.
+AB_PASSES = 3
+
+#: The observability A/B legs: metric-name suffix -> Observability
+#: factory for the tree under that leg.
+AB_LEGS = (
+    ("", lambda: None),
+    ("_obs_off", Observability.disabled),
+    ("_obs_metrics", lambda: Observability(level="metrics")),
+)
+
+
+def _obs_ab_pass(n: int, n_queries: int, build_rot: int = 0) -> tuple:
+    """One full paired pass: fresh trees, chunk-interleaved update then
+    query phases.  Returns per-leg ``(update_times, query_times)``.
+
+    ``build_rot`` rotates the order the legs' trees are *built* in.
+    Build order shapes heap layout (later trees land in a larger, more
+    fragmented heap and see slightly worse locality), which shows up as
+    a systematic ~2-4% bias against later-built legs that execution-order
+    rotation cannot cancel.  Rotating build position across passes gives
+    every leg one pass in each position, and the per-leg min over passes
+    compares the legs at their common best layout.
+    """
+    n_legs = len(AB_LEGS)
+    trees: list = [None] * n_legs
+    streams: list = [None] * n_legs
+    for j in range(n_legs):
+        i = (build_rot + j) % n_legs
+        workload = default_network_workload(n, moving_distance=0.01, seed=11)
+        tree = make_tree("rum_touch", node_size=2048, obs=AB_LEGS[i][1]())
+        load_tree(tree, workload.initial())
+        trees[i] = tree
+        streams[i] = iter(workload.updates(n))
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        utimes = [0.0] * n_legs
+        done = 0
+        rnd = 0
+        while done < n:
+            take = min(AB_CHUNK, n - done)
+            gc.collect()
+            # Rotate which leg runs first: the leg right after the
+            # collection sees colder caches, and that penalty must not
+            # always land on the same side of the ratios.
+            for k in range(n_legs):
+                i = (rnd + k) % n_legs
+                stream = streams[i]
+                update = trees[i].update_object
+                t0 = time.process_time()
+                for _ in range(take):
+                    oid, _old, new = next(stream)
+                    update(oid, _old, new)
+                utimes[i] += time.process_time() - t0
+            done += take
+            rnd += 1
+
+        # Same unmeasured warm-up rationale as bench_end_to_end; it also
+        # lets the metrics leg's adaptive query sampling reach its steady
+        # stride, so the measured slices reflect sampled steady state.
+        for tree in trees:
+            for window in RangeQueryGenerator(seed=7).queries(
+                MIRROR_QUERY_STREAK + 8
+            ):
+                tree.search(window)
+        qstreams = [
+            iter(RangeQueryGenerator(seed=2).queries(n_queries))
+            for _ in trees
+        ]
+        qtimes = [0.0] * n_legs
+        done = 0
+        rnd = 0
+        while done < n_queries:
+            take = min(AB_CHUNK, n_queries - done)
+            gc.collect()
+            for k in range(n_legs):
+                i = (rnd + k) % n_legs
+                qstream = qstreams[i]
+                search = trees[i].search
+                t0 = time.process_time()
+                for _ in range(take):
+                    search(next(qstream))
+                qtimes[i] += time.process_time() - t0
+            done += take
+            rnd += 1
+        return utimes, qtimes
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def bench_obs_ab(metrics: Dict) -> None:
+    """Paired end-to-end A/B of the observability levels.
+
+    Single-leg repeats on this workload disperse by ±5-10% (allocator
+    growth, interpreter warm-up, host jitter), which drowns the <2%
+    metrics-level budget.  Two counter-measures:
+
+    * **Chunk interleaving** — instead of timing whole legs back to
+      back, one tree per leg advances through the *same* deterministic
+      update/query stream in alternating ``AB_CHUNK``-op slices, each
+      leg accumulating its own summed timer.  Slow drift of the host
+      then hits every leg's slices roughly equally and cancels out of
+      the ratios.  The cyclic GC is disabled inside timed slices (its
+      pauses would land on whichever leg happened to allocate past the
+      threshold) and runs at slice boundaries instead, off the clock.
+    * **Min-of-passes with rotated build order** — the whole paired
+      pass repeats ``AB_PASSES`` times on fresh trees, each pass
+      building the legs' trees in a rotated order (see
+      :func:`_obs_ab_pass`), and each leg keeps its *minimum* total.
+      Host-steal episodes span many consecutive slices, so a stolen
+      pass inflates one leg's sum more than another's; the minimum
+      discards those passes, cancels the build-position bias, and
+      converges on the undisturbed cost.
+    """
+    n = scaled(2000)
+    n_queries = scaled(2000)
+    n_legs = len(AB_LEGS)
+    best_u = [float("inf")] * n_legs
+    best_q = [float("inf")] * n_legs
+    for p in range(AB_PASSES):
+        utimes, qtimes = _obs_ab_pass(n, n_queries, build_rot=p % n_legs)
+        for i in range(n_legs):
+            best_u[i] = min(best_u[i], utimes[i])
+            best_q[i] = min(best_q[i], qtimes[i])
+    for (suffix, _), t in zip(AB_LEGS, best_u):
+        metrics[f"end_to_end.update{suffix}"] = {
+            "ops_per_sec": n / t if t > 0 else float("inf"),
+            "iterations": n,
+        }
+    for (suffix, _), t in zip(AB_LEGS, best_q):
+        metrics[f"end_to_end.query{suffix}"] = {
+            "ops_per_sec": n_queries / t if t > 0 else float("inf"),
+            "iterations": n_queries,
+        }
 
 
 def bench_batch(metrics: Dict, obs=None) -> None:
@@ -318,20 +462,23 @@ def bench_batch(metrics: Dict, obs=None) -> None:
         }
 
 
-def obs_overhead_pct(metrics: Dict) -> Dict[str, float]:
-    """Relative slowdown of the obs-off run vs the plain run, per op.
+def obs_overhead_pct(metrics: Dict, suffix: str = "_obs_off") -> Dict[str, float]:
+    """Relative slowdown of an obs-attached leg vs the plain leg, per op.
 
-    Both runs execute the exact same workload in the same process; the
-    only difference is that the ``_obs_off`` tree had a level-``off``
-    :class:`Observability` attached, so the numbers isolate the cost of
-    the disabled instrumentation path (one attribute load + ``None``
-    check per guarded site).  The ISSUE's acceptance bar is <2%.
+    Both legs execute the exact same workload, chunk-interleaved in the
+    same process (see :func:`bench_obs_ab`); the only difference is the
+    :class:`Observability` attached to the tree.  ``_obs_off`` (level
+    ``off``) isolates the disabled instrumentation path — one attribute
+    load + ``None`` check per guarded site, bar ~0%.  ``_obs_metrics``
+    (level ``metrics``) additionally pays the bound counters,
+    histograms, the flight-recorder capture, and the drift EWMA feed,
+    bar <2%.
     """
     overhead = {}
     for op in ("update", "query"):
         base = metrics[f"end_to_end.{op}"]["ops_per_sec"]
-        off = metrics[f"end_to_end.{op}_obs_off"]["ops_per_sec"]
-        overhead[op] = (base / off - 1.0) * 100.0 if off > 0 else 0.0
+        on = metrics[f"end_to_end.{op}{suffix}"]["ops_per_sec"]
+        overhead[op] = (base / on - 1.0) * 100.0 if on > 0 else 0.0
     return overhead
 
 
@@ -343,24 +490,14 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
     bench_kernels(metrics, iters)
     bench_buffer(metrics, max(10, iters // 10))
     bench_memo(metrics, iters)
-    # Two alternating plain/obs-off passes, keeping the faster run of each
-    # metric: the overhead comparison is an A/B between nearly identical
-    # code paths, so best-of-two filters out scheduler noise that would
-    # otherwise dwarf the sub-percent effect being measured.
+    # End-to-end update/query plus the three-way observability A/B, all
+    # from one chunk-interleaved paired run (see bench_obs_ab).
     e2e: Dict = {}
+    bench_obs_ab(e2e)
+    # Batched ingestion keeps a best-of-two scheme (plain obs only: the
+    # obs A/B is owned by bench_obs_ab above).
     for _ in range(2):
-        for suffix, obs in (("", None), ("_obs_off", Observability.disabled())):
-            fresh: Dict = {}
-            bench_end_to_end(fresh, suffix=suffix, obs=obs)
-            for name, m in fresh.items():
-                if (
-                    name not in e2e
-                    or m["ops_per_sec"] > e2e[name]["ops_per_sec"]
-                ):
-                    e2e[name] = m
-        # Batched ingestion rides in the same best-of-two scheme (plain
-        # obs only: the obs-off A/B is owned by update/query above).
-        fresh = {}
+        fresh: Dict = {}
         bench_batch(fresh)
         for name, m in fresh.items():
             if (
@@ -369,19 +506,23 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
             ):
                 e2e[name] = m
     metrics.update(e2e)
-    overhead = obs_overhead_pct(metrics)
+    overhead_off = obs_overhead_pct(e2e, "_obs_off")
+    overhead_metrics = obs_overhead_pct(e2e, "_obs_metrics")
     report = {
         "schema": SCHEMA,
         "scale": scale,
         "node_size": NODE_SIZE,
         "metrics": metrics,
-        "obs_disabled_overhead_pct": overhead,
+        "obs_disabled_overhead_pct": overhead_off,
+        "obs_metrics_overhead_pct": overhead_metrics,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     for name in sorted(metrics):
         print(f"{name:32s} {metrics[name]['ops_per_sec']:12.1f} ops/s")
-    for op, pct in sorted(overhead.items()):
+    for op, pct in sorted(overhead_off.items()):
         print(f"obs disabled overhead ({op}): {pct:+.2f}%")
+    for op, pct in sorted(overhead_metrics.items()):
+        print(f"obs metrics overhead ({op}): {pct:+.2f}%")
     print(f"wrote {output}")
     return report
 

@@ -35,8 +35,15 @@ merged reports must share schema and scale.
                    "baseline_ops_per_sec": ..., "current_ops_per_sec": ...,
                    "delta_pct": ...},
         ...
-      }
+      },
+      "delta_pct_summary": {"count": ..., "p50": ..., "p95": ..., "p99": ...}
     }
+
+The ``delta_pct_summary`` block summarises the distribution of per-metric
+throughput deltas (only metrics present in both reports).  A healthy
+comparison has p50 near zero; a systematically slow current run shows up
+as the whole distribution shifting negative even when no single metric
+crosses the regression threshold.
 """
 
 from __future__ import annotations
@@ -93,6 +100,36 @@ def merge_best(reports: list) -> dict:
     return merged
 
 
+def percentile(sorted_values: list, q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data (standalone
+    twin of the registry histogram's estimator — this script must run
+    without ``repro`` importable)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def delta_summary(per_metric: dict) -> dict:
+    """p50/p95/p99 of the per-metric throughput deltas."""
+    deltas = sorted(
+        m["delta_pct"]
+        for m in per_metric.values()
+        if m["delta_pct"] is not None
+    )
+    return {
+        "count": len(deltas),
+        "p50": percentile(deltas, 0.50),
+        "p95": percentile(deltas, 0.95),
+        "p99": percentile(deltas, 0.99),
+    }
+
+
 def compare(baseline: dict, current: dict, threshold: float) -> dict:
     """Per-metric comparison; returns the ``bench_compare/v1`` report."""
     base_metrics = baseline["metrics"]
@@ -145,6 +182,13 @@ def compare(baseline: dict, current: dict, threshold: float) -> dict:
             "current_ops_per_sec": c,
             "delta_pct": delta * 100.0,
         }
+    summary = delta_summary(per_metric)
+    if summary["count"]:
+        print(
+            f"  delta distribution: p50 {summary['p50']:+.1f}%  "
+            f"p95 {summary['p95']:+.1f}%  p99 {summary['p99']:+.1f}% "
+            f"({summary['count']} shared metric(s))"
+        )
     return {
         "schema": COMPARE_SCHEMA,
         "threshold": threshold,
@@ -152,6 +196,7 @@ def compare(baseline: dict, current: dict, threshold: float) -> dict:
         "current_scale": current.get("scale"),
         "regressions": regressions,
         "metrics": per_metric,
+        "delta_pct_summary": summary,
     }
 
 

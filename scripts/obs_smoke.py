@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Observability smoke check — tiny workload at ``trace``, validated dump.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py [OUT_DIR]
+
+Runs a small RUM-tree workload (inserts, updates, range queries, kNN)
+with the observability layer at ``trace`` level, then asserts the flight
+recorder captured it:
+
+* the dump is schema-tagged ``flight_recorder/v1`` and JSON-serialisable;
+* the ring is non-empty and every record carries the full column set
+  (seq/op/tree/duration_ms/io/memo_lookups/memo_hits/served_by/
+  pages_touched) with a complete 8-field I/O block;
+* every op class the workload exercised is present;
+* the per-record ``OpRecord`` view round-trips through ``as_dict``.
+
+Artifacts (``recorder.json``, ``metrics.prom``) are written to OUT_DIR
+(default ``obs-smoke``) so CI can archive them; any violated check exits
+non-zero with a diagnostic.  This is the CI leg that keeps the recorder
+dump schema honest end to end — the unit tests pin the pieces, this pins
+the assembled pipeline on a real workload.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+EXPECTED_RECORD_KEYS = {
+    "seq",
+    "op",
+    "tree",
+    "duration_ms",
+    "io",
+    "memo_lookups",
+    "memo_hits",
+    "served_by",
+    "pages_touched",
+}
+
+
+def fail(msg: str) -> "None":
+    print(f"obs-smoke: FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir = pathlib.Path(argv[0] if argv else "obs-smoke")
+
+    from repro.factory import build_rum_tree
+    from repro.obs import Observability, write_prometheus
+    from repro.obs.recorder import IO_FIELDS, SCHEMA, OpRecord
+    from repro.rtree.geometry import Rect
+    from repro.workload.objects import default_network_workload
+
+    obs = Observability(level="trace", recorder_capacity=1024)
+    tree = build_rum_tree(node_size=2048, obs=obs)
+    workload = default_network_workload(120, moving_distance=0.02, seed=5)
+    for oid, rect in workload.initial():
+        tree.insert_object(oid, rect)
+    for oid, old, new in workload.updates(200):
+        tree.update_object(oid, old, new)
+    for _ in range(5):
+        tree.search(Rect(0.2, 0.2, 0.8, 0.8))
+    tree.nearest_neighbors(0.5, 0.5, 4)
+
+    dump = obs.recorder.dump()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "recorder.json").write_text(json.dumps(dump, indent=1))
+    write_prometheus(obs.registry, out_dir / "metrics.prom")
+
+    # -- schema validation --------------------------------------------------
+    if dump["schema"] != SCHEMA:
+        fail(f"dump schema {dump['schema']!r}, expected {SCHEMA!r}")
+    if json.loads(json.dumps(dump)) != dump:
+        fail("dump does not survive a JSON round-trip")
+    ops = dump["ops"]
+    if not ops:
+        fail("flight recorder ring is empty after the workload")
+    if dump["recorded_total"] < 326:  # 120 + 200 + 5 + 1
+        fail(
+            f"recorded_total {dump['recorded_total']} below the "
+            "326 instrumented ops the workload issued"
+        )
+    for record in ops + dump["slow_ops"]:
+        if set(record) != EXPECTED_RECORD_KEYS:
+            fail(
+                f"record #{record.get('seq')} keys {sorted(record)} != "
+                f"{sorted(EXPECTED_RECORD_KEYS)}"
+            )
+        if set(record["io"]) != set(IO_FIELDS):
+            fail(f"record #{record['seq']} io block missing fields")
+        OpRecord.from_dict(record)  # must reconstruct
+    seen_ops = {r["op"] for r in ops}
+    for expected in ("insert", "update", "query", "knn"):
+        if expected not in seen_ops:
+            fail(f"op class {expected!r} missing from the ring ({seen_ops})")
+    queries = [r for r in ops if r["op"] == "query"]
+    if not all(r["served_by"] in ("mirror", "traversal") for r in queries):
+        fail("query record with unknown serving decision")
+    if not any(r["memo_lookups"] > 0 for r in queries):
+        fail("no query record carries memo inspections")
+
+    print(
+        f"obs-smoke: OK — {dump['recorded_total']} ops recorded, "
+        f"{len(ops)} retained, {len(seen_ops)} op classes, "
+        f"artifacts in {out_dir}/"
+    )
+    obs.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,29 @@ def expected_bottomup_update_io(
     )
 
 
+def expected_query_leaf_io(
+    leaf_sides: Sequence[Tuple[float, float]],
+    query_width: float,
+    query_height: float,
+) -> float:
+    """Expected leaf reads of a range query with a ``qw×qh`` window.
+
+    Complement of Lemma 2: a leaf MBR of size ``x×y`` *intersects* a
+    random ``qw×qh`` window (both uniform in the unit square) with
+    probability ``min(1, (x+qw)·(y+qh))`` — the Minkowski-sum area,
+    clamped since a large leaf may qualify always.  Summing over the
+    live leaf MBRs gives the expected leaves a traversal must read;
+    the drift monitor evaluates this at the workload's observed window
+    extents and compares it against the measured per-query EWMA.
+    """
+    if query_width < 0 or query_height < 0:
+        raise ValueError("query extents must be non-negative")
+    return sum(
+        min(1.0, (w + query_width) * (h + query_height))
+        for w, h in leaf_sides
+    )
+
+
 def expected_memo_update_io(inspection_ratio: float) -> float:
     """``IO_memo = 2 (1 + ir)``: the insertion's read+write plus the
     amortised token cleaning (each inspected leaf is read and written)."""

@@ -50,6 +50,7 @@ class CleaningToken:
         "min_cycle_steps",
         "tainted",
         "cycle_started_at",
+        "cycle_io",
     )
 
     def __init__(self, position: int, min_cycle_steps: int = 1):
@@ -73,6 +74,11 @@ class CleaningToken:
         #: wall time is the meaningful unit because token steps are
         #: interleaved with the update stream that drives them).
         self.cycle_started_at = time.perf_counter()
+        #: I/O charged by this token's steps in the current cycle (the 8
+        #: IOStats fields in declaration order), accumulated per step only
+        #: while a flight recorder is attached.  Cycle records thus carry
+        #: the cleaning cost alone, not the interleaved update stream's.
+        self.cycle_io = [0] * 8
 
 
 class GarbageCleaner:
@@ -131,17 +137,22 @@ class GarbageCleaner:
         self._obs_removed = None
         self._obs_cycles = None
         self._obs_cycle_ms = None
+        self._obs_recorder = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: token steps, entries cleaned, cycle counts and
         wall-clock cycle durations; per-step events at the ``debug``
-        level and one ``cleaner.cycle`` event per completed ring pass."""
+        level, one ``cleaner.cycle`` event per completed ring pass, and
+        one ``cleaner_cycle`` flight-recorder record carrying the cycle's
+        own accumulated step I/O."""
         if obs is None or not obs.enabled:
             self._obs = None
             self._obs_steps = self._obs_removed = None
             self._obs_cycles = self._obs_cycle_ms = None
+            self._obs_recorder = None
             return
         self._obs = obs
+        self._obs_recorder = obs.recorder
         if obs.metrics_on:
             reg = obs.registry
             self._obs_steps = reg.counter("cleaner.token_steps")
@@ -226,6 +237,14 @@ class GarbageCleaner:
     def _step(self, token: CleaningToken) -> None:
         """Clean the token's current leaf and pass the token on (Figure 8)."""
         tree = self.tree
+        rec = self._obs_recorder
+        if rec is not None:
+            s = tree.stats
+            io_before = (
+                s.leaf_reads, s.leaf_writes, s.internal_reads,
+                s.internal_writes, s.index_reads, s.index_writes,
+                s.log_writes, s.log_reads,
+            )
         with tree.buffer.operation():
             leaf = tree.buffer.get_node(token.position)
             # Advance before mutating the tree: if the cleaning dissolves
@@ -257,6 +276,17 @@ class GarbageCleaner:
                     tree._condense(leaf)
                 else:
                     tree._adjust_upward(leaf)
+        if rec is not None:
+            s = tree.stats
+            c = token.cycle_io
+            c[0] += s.leaf_reads - io_before[0]
+            c[1] += s.leaf_writes - io_before[1]
+            c[2] += s.internal_reads - io_before[2]
+            c[3] += s.internal_writes - io_before[3]
+            c[4] += s.index_reads - io_before[4]
+            c[5] += s.index_writes - io_before[5]
+            c[6] += s.log_writes - io_before[6]
+            c[7] += s.log_reads - io_before[7]
         self._check_cycle(token)
 
     def _check_cycle(self, token: CleaningToken) -> None:
@@ -278,6 +308,17 @@ class GarbageCleaner:
             if self._obs_cycles is not None:
                 self._obs_cycles.inc()
                 self._obs_cycle_ms.observe(cycle_ms)
+            if self._obs_recorder is not None:
+                self._obs_recorder.record(
+                    "cleaner_cycle",
+                    self.tree.name,
+                    cycle_ms / 1000.0,
+                    tuple(token.cycle_io),
+                    0,
+                    0,
+                    "-",
+                )
+                token.cycle_io = [0] * 8
             self._obs.event(
                 "cleaner.cycle",
                 token=self.tokens.index(token),

@@ -62,26 +62,51 @@ class UpdateMemo:
         ]
         #: Per-bucket locks for the concurrency experiment (Section 3.5).
         self.bucket_locks = [threading.Lock() for _ in range(n_buckets)]
+        #: Lifetime probe tallies, plain ints kept *unconditionally*:
+        #: memo probes run up to once per leaf entry scanned, so even a
+        #: ``None``-checked counter increment is measurable against the
+        #: metrics-level overhead budget.  One bare integer add costs
+        #: the same with or without observability; ``attach_obs``
+        #: mirrors the tallies into lazy gauges.
+        self.lookup_count = 0
+        self.hit_count = 0
         self._obs_purge_runs = None
         self._obs_purged = None
+        self._obs_inserts = None
+        self._obs_obsoleted = None
+        self._obs_cleaned = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry.
 
         Memo *size* (entries, bytes, aggregate ``N_old``) is exposed as
-        callback gauges sampled at snapshot time, and phantom purges —
-        which run once per cleaning cycle — get counters.  The per-update
-        operations (``record_update``/``check_status``/``note_cleaned``)
-        are deliberately left uninstrumented: they run millions of times
-        per second and even a ``None`` check there would show up in the
-        memo micro-benchmark.
+        callback gauges sampled at snapshot time; phantom purges — which
+        run once per cleaning cycle — get counters.  The per-update
+        mutation operations (``record_update``/``note_cleaned``) are
+        counted too (the gap PR 2 left open): at ``metrics`` level each
+        costs one ``None`` check plus an integer add, and at ``off`` the
+        bound instruments are ``None`` so the disabled path keeps the
+        single-check no-op guarantee that ``bench_micro``'s A/B run
+        measures.  Lookups and hits fire once per *scanned leaf entry*,
+        far too hot even for that pattern — they ride the unconditional
+        plain-int tallies ``lookup_count``/``hit_count`` and surface as
+        the lazy gauges ``memo.lookups``/``memo.hits`` (values count
+        from memo construction, not from attach).
         """
         if obs is None or not obs.metrics_on:
             self._obs_purge_runs = self._obs_purged = None
+            self._obs_inserts = self._obs_obsoleted = self._obs_cleaned = None
             return
         reg = obs.registry
         self._obs_purge_runs = reg.counter("memo.purge_runs")
         self._obs_purged = reg.counter("memo.purged_entries")
+        self._obs_inserts = reg.counter("memo.inserts")
+        self._obs_obsoleted = reg.counter("memo.obsoleted")
+        self._obs_cleaned = reg.counter("memo.cleaned")
+        reg.gauge("memo.lookups").set_function(
+            lambda: float(self.lookup_count)
+        )
+        reg.gauge("memo.hits").set_function(lambda: float(self.hit_count))
         reg.gauge("memo.entries").set_function(self.__len__)
         reg.gauge("memo.bytes").set_function(self.size_bytes)
         reg.gauge("memo.total_n_old").set_function(self.total_n_old)
@@ -108,22 +133,32 @@ class UpdateMemo:
         entry = bucket.get(oid)
         if entry is None:
             bucket[oid] = UMEntry(oid, stamp, 1)
+            if self._obs_inserts is not None:
+                self._obs_inserts.inc()
         else:
             entry.s_latest = stamp
             entry.n_old += 1
+            if self._obs_obsoleted is not None:
+                self._obs_obsoleted.inc()
 
     def check_status(self, oid: int, stamp: int) -> str:
         """CheckStatus (Figure 6): classify a leaf entry as LATEST or
         OBSOLETE by comparing its stamp against ``S_latest``."""
         entry = self._bucket(oid).get(oid)
+        self.lookup_count += 1
         if entry is None:
             return LATEST
+        self.hit_count += 1
         return LATEST if stamp == entry.s_latest else OBSOLETE
 
     def is_obsolete(self, oid: int, stamp: int) -> bool:
         """Convenience predicate used by query filtering and the cleaner."""
         entry = self._bucket(oid).get(oid)
-        return entry is not None and stamp != entry.s_latest
+        self.lookup_count += 1
+        if entry is None:
+            return False
+        self.hit_count += 1
+        return stamp != entry.s_latest
 
     def note_cleaned(self, oid: int) -> None:
         """An obsolete entry of ``oid`` was physically removed: decrement
@@ -131,6 +166,8 @@ class UpdateMemo:
         step 1b)."""
         bucket = self._bucket(oid)
         entry = bucket.get(oid)
+        if self._obs_cleaned is not None:
+            self._obs_cleaned.inc()
         if entry is None:
             raise KeyError(
                 f"cleaned an obsolete entry for oid {oid} with no UM entry"

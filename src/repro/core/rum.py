@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, ContextManager, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.explain import ExplainReport
 
     from .batch import BatchPlan, BatchResult
 
@@ -138,6 +139,18 @@ class RUMTree(RTreeBase):
         self.cleaner.attach_obs(attached)
         if self.wal is not None:
             self.wal.attach_obs(attached)
+        # The flight recorder's per-op memo columns ride the memo's
+        # unconditional probe tallies (the baselines leave the base
+        # class's None in place and report zeros).
+        if attached is not None and attached.metrics_on:
+            self._obs_rec_memo = self.memo
+
+    def _drift_update_predicted(self, tracker) -> float:
+        """``IO_memo = 2(1 + ir)`` (Section 4.2.3) at the live cleaner's
+        inspection ratio."""
+        from repro.analysis.cost_model import expected_memo_update_io
+
+        return expected_memo_update_io(self.cleaner.inspection_ratio)
 
     # ------------------------------------------------------------------
     # Memo-based insert / update / delete (Figures 4 and 5)
@@ -149,9 +162,16 @@ class RUMTree(RTreeBase):
         if obs is None:
             self._memo_based_insert(oid, rect)
             return
-        with obs.span("insert", io=self.stats, tree=self.name, oid=oid) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("insert", io=self.stats, tree=self.name, oid=oid):
+                self._memo_based_insert(oid, rect)
+        else:
             self._memo_based_insert(oid, rect)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+        self._obs_op_end(
+            begin, "insert", self._obs_c_updates, self._obs_h_update_io,
+            self._obs_drift_update,
+        )
 
     def update_object(
         self, oid: int, old_rect: Optional[Rect], new_rect: Rect
@@ -162,9 +182,23 @@ class RUMTree(RTreeBase):
         if obs is None:
             self._memo_based_insert(oid, new_rect)
             return
-        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+        tick = self._obs_utick
+        if tick:
+            # Unsampled update: exact counter + leaf-I/O histogram only
+            # (see RTreeBase._obs_update_lite).
+            self._obs_utick = tick - 1
+            s = self.stats
+            lio0 = s.leaf_reads + s.leaf_writes
             self._memo_based_insert(oid, new_rect)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+            self._obs_update_lite(lio0)
+            return
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("update", io=self.stats, tree=self.name, oid=oid):
+                self._memo_based_insert(oid, new_rect)
+        else:
+            self._memo_based_insert(oid, new_rect)
+        self._obs_update_end(begin)
 
     def _memo_based_insert(self, oid: int, rect: Rect) -> None:
         stamp = self.stamps.next()
@@ -186,9 +220,15 @@ class RUMTree(RTreeBase):
         if obs is None:
             self._memo_based_delete(oid)
             return
-        with obs.span("delete", io=self.stats, tree=self.name, oid=oid) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("delete", io=self.stats, tree=self.name, oid=oid):
+                self._memo_based_delete(oid)
+        else:
             self._memo_based_delete(oid)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+        self._obs_op_end(
+            begin, "delete", self._obs_c_updates, self._obs_h_update_io, None
+        )
 
     def _memo_based_delete(self, oid: int) -> None:
         stamp = self.stamps.next()
@@ -300,19 +340,40 @@ class RUMTree(RTreeBase):
         obs = self.obs
         if obs is None:
             return self._memo_filtered_search(window)
-        with obs.span("query", io=self.stats, tree=self.name) as sp:
+        tick = self._obs_qtick
+        if tick:
+            self._obs_qtick = tick - 1
+            return self._memo_filtered_search(window)
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("query", io=self.stats, tree=self.name):
+                results = self._memo_filtered_search(window)
+        else:
             results = self._memo_filtered_search(window)
-        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        self._obs_query_end(begin, window)
         return results
 
     def _memo_filtered_search(self, window: Rect) -> List[Tuple[int, Rect]]:
+        # CheckStatus per raw entry, probing via memo.get and settling
+        # the memo's plain-int probe tallies once per query — the
+        # classification is identical to check_status's.
         raw = self.range_search(window)
-        check_status = self.memo.check_status
-        return [
-            (e.oid, e.rect)
-            for e in raw
-            if check_status(e.oid, e.stamp) == "LATEST"
-        ]
+        memo = self.memo
+        get = memo.get
+        results: List[Tuple[int, Rect]] = []
+        append = results.append
+        hits = 0
+        for e in raw:
+            ume = get(e.oid)
+            if ume is None:
+                append((e.oid, e.rect))
+            else:
+                hits += 1
+                if e.stamp == ume.s_latest:
+                    append((e.oid, e.rect))
+        memo.lookup_count += len(raw)
+        memo.hit_count += hits
+        return results
 
     def nearest_neighbors(
         self, x: float, y: float, k: int
@@ -330,9 +391,15 @@ class RUMTree(RTreeBase):
         obs = self.obs
         if obs is None:
             return self._memo_filtered_knn(x, y, k)
-        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("knn", io=self.stats, tree=self.name, k=k):
+                results = self._memo_filtered_knn(x, y, k)
+        else:
             results = self._memo_filtered_knn(x, y, k)
-        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        self._obs_op_end(
+            begin, "knn", self._obs_c_knn, self._obs_h_query_io, None
+        )
         return results
 
     def _memo_filtered_knn(
@@ -352,6 +419,185 @@ class RUMTree(RTreeBase):
         return results
 
     # ------------------------------------------------------------------
+    # EXPLAIN/ANALYZE overrides (memo-aware traces)
+    # ------------------------------------------------------------------
+
+    def explain_query(self, window: Rect) -> "ExplainReport":
+        """ANALYZE one memo-filtered range query: the base traversal
+        trace plus the Figure-3b memo filter, with the inspection
+        outcome (latest vs obsolete) in the ``memo`` block.  The filter
+        itself touches no pages, so the traversal's ``io_delta`` is
+        still the whole cost of the query."""
+        from repro import kernels
+        from repro.obs.explain import ExplainReport
+
+        mirror = self._mirror
+        mirror_valid = (
+            mirror is not None and mirror.version == self.buffer.version
+        )
+        visits, raw, io_delta = self._explain_range_traversal(window)
+        check_status = self.memo.check_status
+        latest = sum(
+            1 for e in raw if check_status(e.oid, e.stamp) == "LATEST"
+        )
+        return ExplainReport(
+            op="query",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={
+                "window": (window.xmin, window.ymin, window.xmax, window.ymax)
+            },
+            served_by="mirror" if mirror_valid else "traversal",
+            visits=visits,
+            io_delta=io_delta,
+            results=latest,
+            memo={
+                "inspections": len(raw),
+                "latest": latest,
+                "obsolete": len(raw) - latest,
+            },
+            mirror=mirror.summary() if mirror_valid else None,
+        )
+
+    def explain_knn(self, x: float, y: float, k: int) -> "ExplainReport":
+        """ANALYZE one memo-filtered kNN query (Section 3.2.3): the
+        best-first stream is filtered through CheckStatus, exactly as
+        :meth:`nearest_neighbors` does."""
+        from repro import kernels
+        from repro.obs.explain import ExplainReport
+
+        inspections = 0
+        obsolete = 0
+        reported: Set[int] = set()
+
+        def accept(entry: LeafEntry) -> bool:
+            nonlocal inspections, obsolete
+            inspections += 1
+            if self.memo.check_status(entry.oid, entry.stamp) != "LATEST":
+                obsolete += 1
+                return False
+            if entry.oid in reported:  # defensive; latest entries are unique
+                return False
+            reported.add(entry.oid)
+            return True
+
+        visits, results, io_delta = self._explain_knn_traversal(
+            x, y, max(k, 0), accept
+        )
+        return ExplainReport(
+            op="knn",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={"x": x, "y": y, "k": k},
+            visits=visits,
+            io_delta=io_delta,
+            results=len(results),
+            memo={
+                "inspections": inspections,
+                "latest": inspections - obsolete,
+                "obsolete": obsolete,
+            },
+        )
+
+    def explain_update(
+        self, oid: int, new_rect: Rect, old_rect: Optional[Rect] = None
+    ) -> "ExplainReport":
+        """ANALYZE one memo-based update — **this mutates the tree**.
+
+        ``old_rect`` is accepted for protocol compatibility and ignored
+        (Section 3.2.1).  The trace replays :meth:`_memo_based_insert`
+        step by step with a stats snapshot between its three phases:
+
+        * ``memo``   — stamp bump + UM record (+ the Option III forced
+          log write, the only phase I/O the memo side can charge);
+        * ``insert`` — the single-path R* insertion of the new entry;
+        * ``clean``  — the token cleaner steps driven by this update
+          (plus a UM checkpoint when one falls due).
+
+        The visit list is the ChooseSubtree descent the insertion takes,
+        pre-walked read-only with uncounted peeks (zero per-visit I/O);
+        the contiguous phase deltas sum to ``io_delta`` exactly, so the
+        report reconciles with fully attributed phases.
+        """
+        from repro import kernels
+        from repro.obs.explain import ExplainReport
+
+        visits = self._explain_insert_path(new_rect)
+        height_before = self.height
+        before = self.stats.snapshot()
+        stamp = self.stamps.next()
+        self.memo.record_update(oid, stamp)
+        if self.recovery_option == RECOVERY_FULL_LOG:
+            self.wal.append_memo_change(oid, stamp)
+        memo_io = self.stats.snapshot() - before
+        p = self.stats.snapshot()
+        with self.buffer.operation():
+            self._insert(LeafEntry(new_rect, oid, stamp), 0, set())
+        insert_io = self.stats.snapshot() - p
+        p = self.stats.snapshot()
+        self._after_update()
+        clean_io = self.stats.snapshot() - p
+        io_delta = self.stats.snapshot() - before
+        return ExplainReport(
+            op="update",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={"oid": oid, "new_rect": tuple(new_rect)},
+            visits=visits,
+            phases={"memo": memo_io, "insert": insert_io, "clean": clean_io},
+            io_delta=io_delta,
+            results=1,
+            memo={"stamp": stamp},
+            extra={
+                "height_before": height_before,
+                "height_after": self.height,
+                "visit_io_attributed": False,
+            },
+        )
+
+    def _explain_insert_path(self, rect: Rect):
+        """The ChooseSubtree descent an insertion of ``rect`` follows,
+        pre-walked read-only with uncounted peeks (the real insertion
+        afterwards charges the I/O; splits may extend the real path)."""
+        from repro.obs.explain import NodeVisit
+        from repro.storage.iostats import IOSnapshot
+
+        zero = IOSnapshot()
+        visits: List[NodeVisit] = []
+        page_id = self.root_id
+        level = self.height - 1
+        while True:
+            residency = self.buffer.residency(page_id)
+            node = self._peek_node(page_id)
+            if node.is_leaf:
+                visits.append(
+                    NodeVisit(
+                        page_id=page_id,
+                        level=level,
+                        is_leaf=True,
+                        entries_tested=len(node.entries),
+                        entries_matched=0,
+                        residency=residency,
+                        io=zero,
+                    )
+                )
+                return visits
+            idx = self._choose_child_index(node, rect, level == 1)
+            visits.append(
+                NodeVisit(
+                    page_id=page_id,
+                    level=level,
+                    is_leaf=False,
+                    entries_tested=len(node.entries),
+                    entries_matched=1,
+                    residency=residency,
+                    io=zero,
+                )
+            )
+            page_id = node.entries[idx].child_id
+            level -= 1
+
+    # ------------------------------------------------------------------
     # Cleaning integration
     # ------------------------------------------------------------------
 
@@ -369,17 +615,29 @@ class RUMTree(RTreeBase):
             # the entries of a lazily decoded leaf.
             return 0
         memo = self.memo
-        is_obsolete = memo.is_obsolete
+        get = memo.get
         note_cleaned = memo.note_cleaned
         kept: List[LeafEntry] = []
         keep = kept.append
         removed = 0
+        probes = 0
+        hits = 0
+        # Obsolescence probes go through memo.get with one settlement of
+        # the memo's plain-int probe tallies per sweep; the exhausted-
+        # budget short circuit skips the probe exactly as before.
         for entry in leaf.entries:
-            if removed < budget and is_obsolete(entry.oid, entry.stamp):
-                note_cleaned(entry.oid)
-                removed += 1
-            else:
-                keep(entry)
+            if removed < budget:
+                probes += 1
+                ume = get(entry.oid)
+                if ume is not None:
+                    hits += 1
+                    if entry.stamp != ume.s_latest:
+                        note_cleaned(entry.oid)
+                        removed += 1
+                        continue
+            keep(entry)
+        memo.lookup_count += probes
+        memo.hit_count += hits
         if removed:
             leaf.entries = kept
             self.buffer.mark_dirty(leaf)

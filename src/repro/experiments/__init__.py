@@ -17,6 +17,7 @@ from .ablation_extensions import run_extension_ablation
 from .ablation_cost import run_cost_validation
 from .comparison import overall_comparison, relative_to, sweep_comparison
 from .crashmatrix import run_crash_matrix
+from .drift import run_drift
 from .fig10 import run_fig10
 from .fig11 import run_fig11
 from .fig12 import run_fig12, run_fig12_overall
@@ -54,6 +55,7 @@ __all__ = [
     "run_table2",
     "run_crash_matrix",
     "run_cost_validation",
+    "run_drift",
     "run_token_ablation",
     "run_structure_ablation",
     "run_fur_extension_ablation",

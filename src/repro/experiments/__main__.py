@@ -23,6 +23,7 @@ additionally mirrors every event onto the ``repro.obs`` logging channel).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -43,6 +44,7 @@ from . import (
     run_buffer_ablation,
     run_cost_validation,
     run_crash_matrix,
+    run_drift,
     run_extension_ablation,
     run_fig10,
     run_fig11,
@@ -177,6 +179,23 @@ _register(
     (run_cost_validation, _plain(["approach", "measured_io", "predicted_io"])),
 )
 _register(
+    "drift",
+    "Cost-model drift: live predicted vs measured I/O per op class",
+    (
+        run_drift,
+        _plain(
+            [
+                "tree",
+                "op",
+                "predicted_io",
+                "measured_io",
+                "drift_ratio",
+                "samples",
+            ]
+        ),
+    ),
+)
+_register(
     "tokens",
     "Ablation: parallel cleaning tokens at fixed inspection ratio",
     (
@@ -236,9 +255,17 @@ def _build_obs(args) -> Optional[Observability]:
 def _write_obs_sidecar(obs: Observability, out_dir: pathlib.Path) -> None:
     write_prometheus(obs.registry, out_dir / "metrics.prom")
     (out_dir / "metrics.json").write_text(metrics_json(obs.registry))
+    parts = [
+        out_dir / "events.jsonl",
+        out_dir / "metrics.prom",
+        out_dir / "metrics.json",
+    ]
+    if obs.recorder is not None:
+        recorder_path = out_dir / "recorder.json"
+        recorder_path.write_text(json.dumps(obs.recorder.dump(), indent=1))
+        parts.append(recorder_path)
     print(
-        f"\ntelemetry sidecar: {out_dir / 'events.jsonl'}, "
-        f"{out_dir / 'metrics.prom'}, {out_dir / 'metrics.json'}"
+        "\ntelemetry sidecar: " + ", ".join(str(p) for p in parts)
     )
 
 
@@ -309,9 +336,12 @@ def main(argv: List[str] = None) -> int:
                     "experiment.end", experiment=name, dur_s=elapsed
                 )
             print(f"\n[{name} finished in {elapsed:.1f}s]")
+    finally:
+        # Written in the finally so a crashed experiment still leaves the
+        # flight-recorder ring and metrics on disk (CI uploads them as a
+        # failure artifact).
         if obs is not None and args.obs_out is not None:
             _write_obs_sidecar(obs, pathlib.Path(args.obs_out))
-    finally:
         set_default_obs(None)
         if obs is not None:
             obs.close()

@@ -577,6 +577,81 @@ class HotPathKernelRule(LintRule):
                     )
 
 
+@register
+class ObsBoundInstrumentRule(LintRule):
+    """Hot-path code reaches telemetry only via attach-time instruments.
+
+    The observability stack's overhead contract (<2% at ``metrics``, a
+    true no-op at ``off``) rests on one discipline: tree/core/storage
+    code touches telemetry through instruments bound once in
+    ``attach_obs`` (``self._obs_* = reg.counter(...)``) and thereafter
+    pays a single ``None`` check per op.  A registry lookup
+    (``reg.counter("x")`` — a dict lookup plus instrument construction)
+    or a ``get_default_obs()`` call on the hot path re-introduces
+    per-operation name hashing that the A/B bench cannot see until it
+    regresses.  Registry methods are therefore only allowed inside an
+    ``attach_obs`` definition in these segments; ``obs/``,
+    ``experiments/``, and ``analysis/`` are not scanned (they are the
+    cold side).
+    """
+
+    rule_id = "REP010"
+    summary = (
+        "rtree/, core/ and storage/ must reach the registry and flight "
+        "recorder only via instruments bound inside attach_obs"
+    )
+
+    _REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+    _REGISTRY_NAMES = {"reg", "registry"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_segment("rtree", "core", "storage"):
+            return
+        allowed: Set[int] = set()
+        for fn in _walk_functions(ctx.tree):
+            if fn.name == "attach_obs":
+                for sub in ast.walk(fn):
+                    allowed.add(id(sub))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in allowed:
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "get_default_obs"
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get_default_obs"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "get_default_obs() outside attach_obs on a hot-path "
+                    "module; bind instruments in attach_obs instead",
+                )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._REGISTRY_METHODS
+            ):
+                recv = func.value
+                if (
+                    isinstance(recv, ast.Name)
+                    and recv.id in self._REGISTRY_NAMES
+                ) or (
+                    isinstance(recv, ast.Attribute)
+                    and recv.attr == "registry"
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"registry lookup '.{func.attr}()' outside "
+                        "attach_obs on a hot-path module; bind the "
+                        "instrument once in attach_obs and use the bound "
+                        "reference",
+                    )
+
+
 #: Ordered rule-id -> one-line summary (docs and ``--list-rules``).
 def rule_catalog() -> Dict[str, str]:
     from .engine import all_rules

@@ -50,6 +50,9 @@ from .events import (
     NullEventSink,
     TeeEventSink,
 )
+from . import recorder as recorder_mod
+from .drift import DriftMonitor, OpDriftTracker
+from .explain import ExplainReport, NodeVisit
 from .export import metrics_json, prometheus_text, write_prometheus
 from .metrics import (
     Counter,
@@ -59,6 +62,7 @@ from .metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from .recorder import FlightRecorder, OpRecord
 from .trace import NULL_TRACER, NullSpan, NullTracer, Span, Tracer
 
 #: Recognised observability levels, least to most verbose.
@@ -79,6 +83,9 @@ class Observability:
         level: str = "trace",
         sink: Optional[EventSink] = None,
         registry: Optional[MetricsRegistry] = None,
+        recorder: Optional[FlightRecorder] = None,
+        recorder_capacity: Optional[int] = None,
+        slow_op_ms: Optional[float] = None,
     ) -> None:
         if level not in LEVELS:
             raise ValueError(
@@ -94,6 +101,28 @@ class Observability:
         self.tracer: Union[Tracer, NullTracer] = (
             Tracer(self.sink) if self.tracing else NULL_TRACER
         )
+        # The flight recorder rides every level that records metrics; at
+        # ``off`` it is None so the disabled path stays a true no-op.  A
+        # pre-built recorder (shared across Observability instances) wins
+        # over the capacity/threshold knobs.
+        self.recorder: Optional[FlightRecorder]
+        if not self.metrics_on:
+            self.recorder = None
+        elif recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = FlightRecorder(
+                capacity=(
+                    recorder_capacity
+                    if recorder_capacity is not None
+                    else recorder_mod.DEFAULT_CAPACITY
+                ),
+                slow_ms=(
+                    slow_op_ms
+                    if slow_op_ms is not None
+                    else recorder_mod.DEFAULT_SLOW_MS
+                ),
+            )
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -151,6 +180,13 @@ __all__ = [
     "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
+    # flight recorder / explain / drift
+    "FlightRecorder",
+    "OpRecord",
+    "ExplainReport",
+    "NodeVisit",
+    "DriftMonitor",
+    "OpDriftTracker",
     # tracing
     "Span",
     "Tracer",

@@ -1,0 +1,199 @@
+"""EXPLAIN/ANALYZE report structures for tree operations.
+
+``tree.explain_query(window)`` / ``explain_knn`` / ``explain_update``
+execute the *real* algorithm against the real buffer (ANALYZE
+semantics: the I/O they report is I/O they actually charged) while
+recording a per-node traversal trace:
+
+* one :class:`NodeVisit` per ``get_node`` with the node's level, the
+  buffer residency the page was served from, entries tested vs matched
+  by the kernel call, and the **exact** I/O delta of that single visit;
+* per-phase I/O snapshots for mutating ops (insert vs cleaning);
+* memo inspection counts for RUM trees;
+* the mirror-vs-traversal serving decision the live query path would
+  have taken.
+
+The defining invariant — pinned by tests — is that the trace reconciles
+*exactly* with the global :class:`~repro.storage.iostats.IOStats` delta
+of the operation: per-visit I/O plus per-phase residuals sum to
+``io_delta``, in the PR 2 span tradition of never reporting estimated
+I/O where exact accounting is available.
+
+This module owns only the data model and rendering; the instrumented
+traversals live on the tree classes (``RTreeBase.explain_query`` etc.)
+next to the algorithms they mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.storage.iostats import IOSnapshot
+
+#: Schema tag stamped on every :meth:`ExplainReport.as_dict`.
+SCHEMA = "explain/v1"
+
+
+@dataclass(frozen=True)
+class NodeVisit:
+    """One node inspection during an explained traversal."""
+
+    page_id: int
+    level: int  # leaves are level 0
+    is_leaf: bool
+    entries_tested: int  # rows the kernel call scanned
+    entries_matched: int  # rows that passed the predicate
+    residency: str  # buffer layer the page came from ("internal"/"op"/"lru"/"disk")
+    io: IOSnapshot  # exact I/O charged by this single visit
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "page_id": self.page_id,
+            "level": self.level,
+            "is_leaf": self.is_leaf,
+            "entries_tested": self.entries_tested,
+            "entries_matched": self.entries_matched,
+            "residency": self.residency,
+            "io": self.io.as_dict(),
+        }
+
+
+@dataclass
+class ExplainReport:
+    """Structured result of an EXPLAIN/ANALYZE run."""
+
+    op: str  # "query" | "knn" | "update"
+    tree: str
+    backend: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    served_by: Optional[str] = None  # queries: "mirror" | "traversal"
+    visits: List[NodeVisit] = field(default_factory=list)
+    #: Residual I/O not attributable to a single visit (e.g. the leaf
+    #: write-back and split writes of an insert, or cleaner steps), keyed
+    #: by phase name.  Empty for read-only ops.
+    phases: Dict[str, IOSnapshot] = field(default_factory=dict)
+    io_delta: IOSnapshot = field(default_factory=IOSnapshot)
+    results: int = 0
+    memo: Dict[str, int] = field(default_factory=dict)
+    mirror: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # -- derived views -----------------------------------------------------
+
+    def nodes_per_level(self) -> Dict[int, int]:
+        """Nodes visited per level (level 0 = leaves)."""
+        out: Dict[int, int] = {}
+        for v in self.visits:
+            out[v.level] = out.get(v.level, 0) + 1
+        return out
+
+    @property
+    def entries_tested(self) -> int:
+        return sum(v.entries_tested for v in self.visits)
+
+    @property
+    def entries_matched(self) -> int:
+        return sum(v.entries_matched for v in self.visits)
+
+    def visit_io_total(self) -> IOSnapshot:
+        total = IOSnapshot()
+        for v in self.visits:
+            total = total + v.io
+        return total
+
+    def accounted_io(self) -> IOSnapshot:
+        """Per-visit I/O plus per-phase residuals."""
+        total = self.visit_io_total()
+        for phase_io in self.phases.values():
+            total = total + phase_io
+        return total
+
+    def reconciles(self) -> bool:
+        """True iff the trace accounts for the op's I/O *exactly*."""
+        return self.accounted_io() == self.io_delta
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "op": self.op,
+            "tree": self.tree,
+            "backend": self.backend,
+            "params": dict(self.params),
+            "served_by": self.served_by,
+            "visits": [v.as_dict() for v in self.visits],
+            "phases": {k: v.as_dict() for k, v in self.phases.items()},
+            "io": self.io_delta.as_dict(),
+            "results": self.results,
+            "memo": dict(self.memo),
+            "mirror": None if self.mirror is None else dict(self.mirror),
+            "nodes_per_level": {
+                str(k): v for k, v in sorted(self.nodes_per_level().items())
+            },
+            "entries_tested": self.entries_tested,
+            "entries_matched": self.entries_matched,
+            "reconciles": self.reconciles(),
+            "extra": dict(self.extra),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line text form."""
+        lines: List[str] = []
+        header = f"EXPLAIN ANALYZE {self.op} on {self.tree} (backend={self.backend}"
+        if self.served_by is not None:
+            header += f", served_by={self.served_by}"
+        header += ")"
+        lines.append(header)
+        for key, value in self.params.items():
+            lines.append(f"  {key}: {value}")
+        for level, count in sorted(self.nodes_per_level().items(), reverse=True):
+            tested = sum(
+                v.entries_tested for v in self.visits if v.level == level
+            )
+            matched = sum(
+                v.entries_matched for v in self.visits if v.level == level
+            )
+            kind = "leaf" if level == 0 else "internal"
+            lines.append(
+                f"  level {level} ({kind}): {count} node(s), "
+                f"{tested} entries tested, {matched} matched"
+            )
+        for v in self.visits:
+            lines.append(
+                f"    [L{v.level}] page {v.page_id} ({v.residency}) "
+                f"tested={v.entries_tested} matched={v.entries_matched} "
+                f"io={_io_brief(v.io)}"
+            )
+        for name, phase_io in self.phases.items():
+            lines.append(f"  phase {name}: io={_io_brief(phase_io)}")
+        if self.memo:
+            memo_bits = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.memo.items())
+            )
+            lines.append(f"  memo: {memo_bits}")
+        if self.mirror is not None:
+            mirror_bits = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.mirror.items())
+            )
+            lines.append(f"  mirror: {mirror_bits}")
+        io = self.io_delta
+        lines.append(
+            f"  io: {_io_brief(io)} (leaf_total={io.leaf_total}, "
+            f"counted_total={io.counted_total})"
+        )
+        lines.append(f"  results: {self.results}")
+        lines.append(f"  reconciles with IOStats delta: {self.reconciles()}")
+        return "\n".join(lines)
+
+
+def _io_brief(io: IOSnapshot) -> str:
+    """Compact non-zero-fields rendering, e.g. ``leaf_reads=2+log_writes=1``;
+    ``-`` when the snapshot is all zeros."""
+    bits: List[Tuple[str, int]] = [
+        (name, value) for name, value in io.as_dict().items() if value
+    ]
+    if not bits:
+        return "-"
+    return "+".join(f"{name}={value}" for name, value in bits)

@@ -51,6 +51,11 @@ def prometheus_text(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:
         lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{prom}_sum {_prom_value(hist.total)}")
         lines.append(f"{prom}_count {hist.count}")
+        # Interpolated quantiles as derived gauges; scrapers that only
+        # understand the histogram series can ignore them.
+        for pname, value in hist.percentiles().items():
+            lines.append(f"# TYPE {prom}_{pname} gauge")
+            lines.append(f"{prom}_{pname} {_prom_value(value)}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -10,12 +10,12 @@ yields per-interval values::
     before = registry.snapshot()
     run_workload()
     delta = registry.snapshot() - before
-    print(delta.counters["disk.page_reads"])
+    print(delta.counters["wal.appends"])
 
 Hot-path cost discipline
 ------------------------
 Instrumented components cache bound instrument objects at attach time
-(``self._c_reads = registry.counter("disk.page_reads")``) so the per-event
+(``self._c_appends = registry.counter("wal.appends")``) so the per-event
 cost is one ``None`` check plus one integer add — never a registry dict
 lookup.  Gauges support *callback* sampling (:meth:`Gauge.set_function`)
 so sizes such as the Update-Memo footprint are read only when a snapshot
@@ -27,6 +27,42 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+#: Quantiles reported by ``percentiles()`` and the Prometheus exposition.
+PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def _bucket_percentile(
+    buckets: Sequence[float], counts: Sequence[int], count: int, q: float
+) -> float:
+    """Interpolated quantile from cumulative bucket counts.
+
+    Prometheus-style: the value is linearly interpolated inside the
+    bucket that contains the requested rank (observations assumed
+    uniform within a bucket); the first bucket collapses to its bound
+    and anything in the overflow bucket is clamped to the last bound.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0.0
+    for i in range(len(buckets)):
+        in_bucket = counts[i]
+        prev = cumulative
+        cumulative += in_bucket
+        if cumulative >= rank and in_bucket:
+            hi = buckets[i]
+            if i == 0:
+                return hi
+            lo = buckets[i - 1]
+            return lo + (hi - lo) * ((rank - prev) / in_bucket)
+    return buckets[-1]
 
 
 class Counter:
@@ -115,6 +151,14 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile of the observed distribution."""
+        return _bucket_percentile(self.buckets, self.counts, self.count, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard report quantiles (:data:`PERCENTILES`)."""
+        return {name: self.percentile(q) for name, q in PERCENTILES}
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
 
@@ -141,6 +185,14 @@ class HistogramSnapshot:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile of the observed distribution."""
+        return _bucket_percentile(self.buckets, self.counts, self.count, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard report quantiles (:data:`PERCENTILES`)."""
+        return {name: self.percentile(q) for name, q in PERCENTILES}
 
 
 @dataclass(frozen=True)
@@ -179,6 +231,7 @@ class MetricsSnapshot:
                     "counts": list(h.counts),
                     "count": h.count,
                     "total": h.total,
+                    "percentiles": h.percentiles(),
                 }
                 for name, h in self.histograms.items()
             },
@@ -189,7 +242,7 @@ class MetricsRegistry:
     """Named instruments with get-or-create semantics.
 
     Asking twice for the same name returns the same object, so any
-    component may bind ``registry.counter("disk.page_reads")`` and all
+    component may bind ``registry.counter("wal.appends")`` and all
     increments land in one place.  Re-registering a name as a different
     instrument kind is an error.
     """

@@ -22,6 +22,8 @@ free (cached).
 
 from __future__ import annotations
 
+import time
+from bisect import bisect_left
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -41,6 +43,7 @@ from repro.storage.buffer import BufferPool
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchPlan, BatchResult
     from repro.obs import Observability
+    from repro.obs.explain import ExplainReport
 
 from .geometry import Rect
 from .node import IndexEntry, LeafEntry, Node
@@ -57,6 +60,16 @@ SplitFunction = Callable[[Sequence, int], Tuple[list, list]]
 #: query burst (the paper's range-query experiments) amortises one build
 #: over hundreds of windows.
 MIRROR_QUERY_STREAK = 16
+
+#: Capture sampling (``RTreeBase._obs_query_end`` / ``_obs_update_end``).
+#: A sampled operation completing faster than the threshold doubles the
+#: capture stride (up to the cap); a slow one resets it to 1.  Steady
+#: state thus converges to one full capture per ``_OBS_QUERY_STRIDE_MAX``
+#: operations, keeping the metrics-level overhead on microsecond-scale
+#: operations inside the bench_micro budget, while any latency
+#: regression snaps sampling back to full fidelity within one stride.
+_OBS_QUERY_FAST_S = 1e-3
+_OBS_QUERY_STRIDE_MAX = 256
 
 _SPLIT_FUNCTIONS: Dict[str, SplitFunction] = {
     "rstar": rstar_split,
@@ -146,6 +159,29 @@ class RTreeBase:
         self._obs_c_batch_deduped = None
         self._obs_c_batch_coalesced = None
         self._obs_h_batch_size = None
+        #: Flight-recorder / drift instruments, bound in attach_obs.  The
+        #: memo reference is populated by the RUM subclass (the baselines
+        #: have no memo) so per-op memo lookup/hit deltas — read off the
+        #: memo's unconditional plain-int tallies — ride every recorder
+        #: record.
+        self._obs_recorder = None
+        self._obs_rec_memo = None
+        self._obs_drift = None
+        self._obs_drift_update = None
+        self._obs_drift_query = None
+        #: Capture-sampling state (see ``_obs_query_end`` and
+        #: ``_obs_update_end``): every operation is counted, but only
+        #: every ``stride``-th pays the full recorder/drift capture.
+        #: The ``tick`` fields count down the ops remaining until the
+        #: next sampled one.
+        self._obs_qtick = 0
+        self._obs_qstride = 1
+        self._obs_utick = 0
+        self._obs_ustride = 1
+        #: Serving decision of the most recent range_search ("mirror" vs
+        #: "traversal"); one boolean store per query on every path so the
+        #: obs A/B comparison is unaffected.
+        self._served_by_mirror = False
 
         if attach is not None:
             self.root_id = attach["root_id"]
@@ -202,7 +238,35 @@ class RTreeBase:
             self._obs_h_batch_size = reg.histogram(
                 "tree.batch_size", self._BATCH_BUCKETS
             )
+            # Flight recorder + drift monitor (always on at metrics and
+            # above; the hot path reaches them only through these bound
+            # references — lint rule REP010).
+            self._obs_recorder = obs.recorder
+            from repro.obs.drift import DriftMonitor
+
+            self._obs_drift = DriftMonitor(reg)
+            self._obs_drift_update = self._obs_drift.track(
+                "update", self._drift_update_predicted
+            )
+            self._obs_drift_query = self._obs_drift.track(
+                "query", self._drift_query_predicted
+            )
+            self._obs_qtick = 0
+            self._obs_qstride = 1
+            self._obs_utick = 0
+            self._obs_ustride = 1
         else:
+            # Queries skipped since the last sampled one have not been
+            # counted yet; settle the balance before dropping the counter.
+            # (Updates need no settlement: their counter and histogram
+            # are exact per-op on the unsampled path too.)
+            pending = self._obs_qstride - 1 - self._obs_qtick
+            if pending > 0 and self._obs_c_queries is not None:
+                self._obs_c_queries.inc(pending)
+            self._obs_qtick = 0
+            self._obs_qstride = 1
+            self._obs_utick = 0
+            self._obs_ustride = 1
             self._obs_c_updates = self._obs_c_queries = None
             self._obs_c_knn = None
             self._obs_h_update_io = self._obs_h_query_io = None
@@ -210,13 +274,261 @@ class RTreeBase:
             self._obs_c_batch_deduped = None
             self._obs_c_batch_coalesced = None
             self._obs_h_batch_size = None
+            self._obs_recorder = None
+            self._obs_rec_memo = None
+            self._obs_drift = None
+            self._obs_drift_update = self._obs_drift_query = None
 
-    def _obs_record(self, counter, histogram, span) -> None:
-        """Account one finished operation span (enabled path only)."""
+    # -- per-operation capture (flight recorder + drift feed) --------------
+
+    def _obs_op_begin(self):
+        """Capture the op's starting state; cheap by design.
+
+        Called only on the enabled path (``self.obs`` is not ``None``
+        implies ``metrics_on``, so the recorder is bound).  Raw counter
+        reads instead of ``stats.snapshot()`` keep the per-op cost to a
+        ``perf_counter`` call plus attribute loads.
+        """
+        s = self.stats
+        m = self._obs_rec_memo
+        return (
+            time.perf_counter(),
+            s.leaf_reads,
+            s.leaf_writes,
+            s.internal_reads,
+            s.internal_writes,
+            s.index_reads,
+            s.index_writes,
+            s.log_writes,
+            s.log_reads,
+            0 if m is None else m.lookup_count,
+            0 if m is None else m.hit_count,
+        )
+
+    def _obs_op_end(
+        self, begin, kind, counter, histogram, tracker, served="-",
+        window=None,
+    ) -> None:
+        """Account one finished operation (enabled path only).
+
+        Feeds the op counter, the per-op leaf-I/O histogram, the flight
+        recorder, and — for update/query — the drift monitor's measured
+        EWMA.  The I/O delta is computed once from the raw counters
+        captured by :meth:`_obs_op_begin`.
+        """
+        s = self.stats
+        dur_s = time.perf_counter() - begin[0]
+        io8 = (
+            s.leaf_reads - begin[1],
+            s.leaf_writes - begin[2],
+            s.internal_reads - begin[3],
+            s.internal_writes - begin[4],
+            s.index_reads - begin[5],
+            s.index_writes - begin[6],
+            s.log_writes - begin[7],
+            s.log_reads - begin[8],
+        )
         if counter is not None:
-            counter.inc()
-            if histogram is not None and span.io_delta is not None:
-                histogram.observe(span.io_delta.leaf_total)
+            counter.value += 1
+        if histogram is not None:
+            # Inlined Histogram.observe — this runs once per update, and
+            # the method-call overhead is measurable against the <2%
+            # metrics-level budget enforced by bench_micro.
+            leaf_io = io8[0] + io8[1]
+            histogram.counts[bisect_left(histogram.buckets, leaf_io)] += 1
+            histogram.count += 1
+            histogram.total += leaf_io
+        m = self._obs_rec_memo
+        self._obs_recorder.record(
+            kind,
+            self.name,
+            dur_s,
+            io8,
+            0 if m is None else m.lookup_count - begin[9],
+            0 if m is None else m.hit_count - begin[10],
+            served,
+        )
+        if tracker is not None:
+            if window is not None:
+                tracker.observe_window(
+                    window.xmax - window.xmin, window.ymax - window.ymin
+                )
+            # Counted I/O per the paper's model: leaf + index + log.
+            tracker.observe(
+                io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+            )
+
+    def _obs_query_end(self, begin, window) -> None:
+        """Account one *sampled* range query.
+
+        Queries are the only operation class fast enough (microseconds at
+        mirror steady state) that full per-op capture breaks the <2%
+        metrics-level overhead budget, so the search wrappers count down
+        ``_obs_qtick`` and only every ``_obs_qstride``-th query lands
+        here.  The counter increment covers this query plus the skipped
+        ones, so ``tree.queries`` is exact at every sample boundary (and
+        at detach, which settles the remainder); histogram, recorder and
+        drift feeds see the sampled queries only.  At ``trace`` level the
+        stride never widens, so every query is recorded.
+        """
+        s = self.stats
+        dur_s = time.perf_counter() - begin[0]
+        io8 = (
+            s.leaf_reads - begin[1],
+            s.leaf_writes - begin[2],
+            s.internal_reads - begin[3],
+            s.internal_writes - begin[4],
+            s.index_reads - begin[5],
+            s.index_writes - begin[6],
+            s.log_writes - begin[7],
+            s.log_reads - begin[8],
+        )
+        stride = self._obs_qstride
+        self._obs_c_queries.value += stride
+        hist = self._obs_h_query_io
+        leaf_io = io8[0] + io8[1]
+        hist.counts[bisect_left(hist.buckets, leaf_io)] += 1
+        hist.count += 1
+        hist.total += leaf_io
+        m = self._obs_rec_memo
+        self._obs_recorder.record(
+            "query",
+            self.name,
+            dur_s,
+            io8,
+            0 if m is None else m.lookup_count - begin[9],
+            0 if m is None else m.hit_count - begin[10],
+            "mirror" if self._served_by_mirror else "traversal",
+        )
+        tracker = self._obs_drift_query
+        tracker.observe_window(
+            window.xmax - window.xmin, window.ymax - window.ymin
+        )
+        tracker.observe(
+            io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+        )
+        if self.obs.tracing:
+            return
+        if dur_s < _OBS_QUERY_FAST_S:
+            if stride < _OBS_QUERY_STRIDE_MAX:
+                stride *= 2
+                self._obs_qstride = stride
+        elif stride != 1:
+            stride = 1
+            self._obs_qstride = 1
+        self._obs_qtick = stride - 1
+
+    def _obs_update_lite(self, lio0) -> None:
+        """Account one *unsampled* update: counter + leaf-I/O histogram.
+
+        Unlike queries, the update counter and histogram stay exact on
+        every operation — both are pure I/O accounting that needs no
+        clock and touches three small hot objects, so the per-op cost is
+        a few hundred nanoseconds.  What the unsampled path skips is the
+        expensive capture: ``perf_counter`` calls, the 8-field I/O
+        delta, the flight-recorder record, and the drift EWMA feed,
+        whose working set is large enough that paying it every update
+        breaks the <2% metrics-level budget (``bench_micro`` A/B).
+        ``lio0`` is ``stats.leaf_reads + stats.leaf_writes`` captured by
+        the wrapper before the operation body ran.
+        """
+        s = self.stats
+        self._obs_c_updates.value += 1
+        h = self._obs_h_update_io
+        v = s.leaf_reads + s.leaf_writes - lio0
+        h.counts[bisect_left(h.buckets, v)] += 1
+        h.count += 1
+        h.total += v
+
+    def _obs_update_end(self, begin) -> None:
+        """Account one *sampled* update (full capture + stride control).
+
+        Mirrors :meth:`_obs_query_end`: every ``_obs_ustride``-th update
+        lands here and feeds the recorder, the drift monitor, and the
+        exact counter/histogram; the ops in between go through
+        :meth:`_obs_update_lite`.  A sampled update faster than
+        ``_OBS_QUERY_FAST_S`` doubles the stride (slow-op detection and
+        recorder coverage degrade gracefully to one op in
+        ``_OBS_QUERY_STRIDE_MAX``); a slow one resets it, and at
+        ``trace`` level the stride never widens so every update is
+        recorded.
+        """
+        s = self.stats
+        dur_s = time.perf_counter() - begin[0]
+        io8 = (
+            s.leaf_reads - begin[1],
+            s.leaf_writes - begin[2],
+            s.internal_reads - begin[3],
+            s.internal_writes - begin[4],
+            s.index_reads - begin[5],
+            s.index_writes - begin[6],
+            s.log_writes - begin[7],
+            s.log_reads - begin[8],
+        )
+        self._obs_c_updates.value += 1
+        hist = self._obs_h_update_io
+        leaf_io = io8[0] + io8[1]
+        hist.counts[bisect_left(hist.buckets, leaf_io)] += 1
+        hist.count += 1
+        hist.total += leaf_io
+        m = self._obs_rec_memo
+        self._obs_recorder.record(
+            "update",
+            self.name,
+            dur_s,
+            io8,
+            0 if m is None else m.lookup_count - begin[9],
+            0 if m is None else m.hit_count - begin[10],
+            "-",
+        )
+        tracker = self._obs_drift_update
+        if tracker is not None:
+            tracker.observe(
+                io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+            )
+        stride = self._obs_ustride
+        if self.obs.tracing:
+            return
+        if dur_s < _OBS_QUERY_FAST_S:
+            if stride < _OBS_QUERY_STRIDE_MAX:
+                stride *= 2
+                self._obs_ustride = stride
+        elif stride != 1:
+            stride = 1
+            self._obs_ustride = 1
+        self._obs_utick = stride - 1
+
+    # -- drift predictors (overridden per tree type) -----------------------
+
+    def _drift_update_predicted(self, tracker) -> float:
+        """Model-expected counted I/O per update at current tree state.
+
+        Base trees update top-down (Section 4.2.1); subclasses override
+        with their own closed forms.  Evaluated lazily at gauge read, so
+        the O(leaves) MBR walk never runs on the update path.
+        """
+        from repro.analysis.cost_model import expected_topdown_update_io
+
+        return expected_topdown_update_io(self.leaf_mbr_sides())
+
+    def _drift_query_predicted(self, tracker) -> float:
+        """Model-expected leaf reads per range query, evaluated at the
+        workload's observed (EWMA) window extents."""
+        from repro.analysis.cost_model import expected_query_leaf_io
+
+        if tracker.window_samples == 0:
+            return 0.0
+        return expected_query_leaf_io(
+            self.leaf_mbr_sides(), tracker.window_w, tracker.window_h
+        )
+
+    def drift_report(self) -> List[Dict[str, object]]:
+        """Cost-model drift rows of this tree — one dict per tracked op
+        class (see :class:`repro.obs.drift.DriftMonitor`); empty when
+        observability is off."""
+        if self._obs_drift is None:
+            return []
+        return [dict(row) for row in self._obs_drift.rows()]
 
     # ------------------------------------------------------------------
     # Insertion
@@ -272,12 +584,17 @@ class RTreeBase:
         obs = self.obs
         if obs is None:
             return self._apply_batch_plan(plan)
-        with obs.span(
-            "update_batch", io=self.stats, tree=self.name,
-            ops=plan.total_ops, deduped=plan.deduped,
-        ):
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span(
+                "update_batch", io=self.stats, tree=self.name,
+                ops=plan.total_ops, deduped=plan.deduped,
+            ):
+                result = self._apply_batch_plan(plan)
+        else:
             result = self._apply_batch_plan(plan)
         self._obs_record_batch(result)
+        self._obs_op_end(begin, "batch", None, None, None)
         return result
 
     def _apply_batch_plan(self, plan: "BatchPlan") -> "BatchResult":
@@ -529,6 +846,7 @@ class RTreeBase:
                     self._mirror = mirror = build_mirror(
                         buffer, self.root_id
                     )
+        self._served_by_mirror = mirror is not None
         if mirror is not None:
             leaf_ids, results = mirror.search(wx1, wy1, wx2, wy2)
             if buffer.in_operation:
@@ -813,6 +1131,278 @@ class RTreeBase:
             for node in self.iter_leaf_nodes()
             if node.entries
         ]
+
+    # ------------------------------------------------------------------
+    # EXPLAIN/ANALYZE (see repro.obs.explain for the report structures)
+    # ------------------------------------------------------------------
+
+    def explain_query(self, window: Rect) -> "ExplainReport":
+        """ANALYZE one range query: run the real traversal against the
+        real buffer, recording a per-node trace whose I/O reconciles
+        exactly with the operation's IOStats delta.
+
+        The traversal charges the same counted leaf reads a live
+        ``range_search`` would (that equivalence is the query mirror's
+        contract), so the report's ``io_delta`` *is* the cost of asking
+        the query.  ``served_by`` reports which path the live query
+        would take right now; a valid mirror additionally contributes a
+        ``mirror`` summary block.  Mirror streak state is not touched.
+        """
+        from repro.obs.explain import ExplainReport
+
+        mirror = self._mirror
+        mirror_valid = (
+            mirror is not None and mirror.version == self.buffer.version
+        )
+        visits, raw, io_delta = self._explain_range_traversal(window)
+        return ExplainReport(
+            op="query",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={
+                "window": (window.xmin, window.ymin, window.xmax, window.ymax)
+            },
+            served_by="mirror" if mirror_valid else "traversal",
+            visits=visits,
+            io_delta=io_delta,
+            results=len(raw),
+            mirror=mirror.summary() if mirror_valid else None,
+        )
+
+    def _explain_range_traversal(self, window: Rect):
+        """Instrumented twin of the stack-based descent in
+        :meth:`range_search`: identical visit set and kernel calls, plus
+        per-visit residency and exact per-visit I/O deltas."""
+        from repro.obs.explain import NodeVisit
+
+        buffer = self.buffer
+        wx1, wy1 = window.xmin, window.ymin
+        wx2, wy2 = window.xmax, window.ymax
+        visits: List[NodeVisit] = []
+        results: List[LeafEntry] = []
+        before = self.stats.snapshot()
+        with buffer.operation():
+            stack = [(self.root_id, self.height - 1)]
+            while stack:
+                page_id, level = stack.pop()
+                residency = buffer.residency(page_id)
+                v_before = self.stats.snapshot()
+                node = buffer.get_node(page_id)
+                v_io = self.stats.snapshot() - v_before
+                hits = kernels.intersect_indices(
+                    node.coord_block(), wx1, wy1, wx2, wy2
+                )
+                entries = node.entries
+                visits.append(
+                    NodeVisit(
+                        page_id=page_id,
+                        level=level,
+                        is_leaf=node.is_leaf,
+                        entries_tested=len(entries),
+                        entries_matched=len(hits),
+                        residency=residency,
+                        io=v_io,
+                    )
+                )
+                if not hits:
+                    continue
+                if node.is_leaf:
+                    results.extend(node.take(hits))
+                else:
+                    stack.extend(
+                        (entries[i].child_id, level - 1) for i in hits
+                    )
+        io_delta = self.stats.snapshot() - before
+        return visits, results, io_delta
+
+    def explain_knn(self, x: float, y: float, k: int) -> "ExplainReport":
+        """ANALYZE one kNN query (best-first MINDIST search)."""
+        from repro.obs.explain import ExplainReport
+
+        visits, results, io_delta = self._explain_knn_traversal(
+            x, y, k, None
+        )
+        return ExplainReport(
+            op="knn",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={"x": x, "y": y, "k": k},
+            visits=visits,
+            io_delta=io_delta,
+            results=len(results),
+        )
+
+    def _explain_knn_traversal(self, x: float, y: float, k: int, accept):
+        """Instrumented twin of :meth:`iter_nearest`.
+
+        ``accept(entry)`` decides whether a surfaced entry counts toward
+        ``k`` (the RUM override filters through the memo); ``None``
+        accepts everything.  ``entries_matched`` of a visit counts the
+        heap items the node contributed.
+        """
+        import heapq
+        import math
+
+        from repro.obs.explain import NodeVisit
+
+        buffer = self.buffer
+        visits: List[NodeVisit] = []
+        results: List[Tuple[LeafEntry, float]] = []
+        before = self.stats.snapshot()
+        if k > 0:
+            counter = 0
+            heap: List[Tuple[float, int, bool, object, int]] = [
+                (0.0, 0, False, self.root_id, self.height - 1)
+            ]
+            with buffer.operation():
+                while heap and len(results) < k:
+                    dist_sq, _tie, is_entry, payload, level = heapq.heappop(
+                        heap
+                    )
+                    if is_entry:
+                        leaf, slot = payload
+                        entry = leaf.take((slot,))[0]
+                        if accept is None or accept(entry):
+                            results.append((entry, math.sqrt(dist_sq)))
+                        continue
+                    residency = buffer.residency(payload)
+                    v_before = self.stats.snapshot()
+                    node = buffer.get_node(payload)
+                    v_io = self.stats.snapshot() - v_before
+                    dists = kernels.min_dist_sq(node.coord_block(), x, y)
+                    n = len(node.entries)
+                    visits.append(
+                        NodeVisit(
+                            page_id=payload,
+                            level=level,
+                            is_leaf=node.is_leaf,
+                            entries_tested=n,
+                            entries_matched=n,
+                            residency=residency,
+                            io=v_io,
+                        )
+                    )
+                    if node.is_leaf:
+                        for i, d in enumerate(dists):
+                            counter += 1
+                            heapq.heappush(
+                                heap, (d, counter, True, (node, i), 0)
+                            )
+                    else:
+                        entries = node.entries
+                        for i, d in enumerate(dists):
+                            counter += 1
+                            heapq.heappush(
+                                heap,
+                                (
+                                    d,
+                                    counter,
+                                    False,
+                                    entries[i].child_id,
+                                    level - 1,
+                                ),
+                            )
+        io_delta = self.stats.snapshot() - before
+        return visits, results, io_delta
+
+    def explain_update(
+        self, oid: int, new_rect: Rect, old_rect: Optional[Rect] = None
+    ) -> "ExplainReport":
+        """ANALYZE one update — **this mutates the tree** (the update is
+        really performed; that is what makes the reported I/O exact).
+
+        Generic version for the top-down/bottom-up baselines: the
+        deletion search path is pre-walked read-only with *uncounted*
+        peeks (per-visit ``io`` is zero), then the real
+        ``update_object`` runs and its whole delta is reported as the
+        ``update`` phase — so the report still reconciles exactly.  The
+        RUM override replaces this with a fully attributed memo-based
+        trace.
+        """
+        from repro.obs.explain import ExplainReport
+
+        if old_rect is None:
+            raise ValueError(
+                "old_rect is required to explain a top-down/bottom-up update"
+            )
+        visits = self._explain_find_path(oid, old_rect)
+        height_before = self.height
+        before = self.stats.snapshot()
+        self.update_object(oid, old_rect, new_rect)
+        io_delta = self.stats.snapshot() - before
+        return ExplainReport(
+            op="update",
+            tree=self.name,
+            backend=kernels.BACKEND,
+            params={
+                "oid": oid,
+                "old_rect": tuple(old_rect),
+                "new_rect": tuple(new_rect),
+            },
+            visits=visits,
+            phases={"update": io_delta},
+            io_delta=io_delta,
+            results=1,
+            extra={
+                "height_before": height_before,
+                "height_after": self.height,
+                "visit_io_attributed": False,
+            },
+        )
+
+    def _explain_find_path(self, oid: int, rect: Rect):
+        """Read-only twin of :meth:`_find_leaf_entry` using uncounted
+        peeks: the containment-search path a top-down deletion follows,
+        with zero per-visit I/O (the real op charges it)."""
+        from repro.obs.explain import NodeVisit
+        from repro.storage.iostats import IOSnapshot
+
+        rx1, ry1 = rect.xmin, rect.ymin
+        rx2, ry2 = rect.xmax, rect.ymax
+        zero = IOSnapshot()
+        visits: List[NodeVisit] = []
+        stack = [(self.root_id, self.height - 1)]
+        while stack:
+            page_id, level = stack.pop()
+            residency = self.buffer.residency(page_id)
+            node = self._peek_node(page_id)
+            entries = node.entries
+            if node.is_leaf:
+                matched = sum(
+                    1
+                    for e in entries
+                    if e.oid == oid and e.rect == rect
+                )
+                visits.append(
+                    NodeVisit(
+                        page_id=page_id,
+                        level=level,
+                        is_leaf=True,
+                        entries_tested=len(entries),
+                        entries_matched=matched,
+                        residency=residency,
+                        io=zero,
+                    )
+                )
+                if matched:
+                    break
+            else:
+                hits = kernels.contain_indices(
+                    node.coord_block(), rx1, ry1, rx2, ry2
+                )
+                visits.append(
+                    NodeVisit(
+                        page_id=page_id,
+                        level=level,
+                        is_leaf=False,
+                        entries_tested=len(entries),
+                        entries_matched=len(hits),
+                        residency=residency,
+                        io=zero,
+                    )
+                )
+                stack.extend((entries[i].child_id, level - 1) for i in hits)
+        return visits
 
     # -- structural invariants (used heavily by the test suite) -----------
 

@@ -124,9 +124,23 @@ class FURTree(RTreeBase):
         if obs is None:
             self._bottom_up_update(oid, new_rect)
             return
-        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+        tick = self._obs_utick
+        if tick:
+            # Unsampled update: exact counter + leaf-I/O histogram only
+            # (see RTreeBase._obs_update_lite).
+            self._obs_utick = tick - 1
+            s = self.stats
+            lio0 = s.leaf_reads + s.leaf_writes
             self._bottom_up_update(oid, new_rect)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+            self._obs_update_lite(lio0)
+            return
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("update", io=self.stats, tree=self.name, oid=oid):
+                self._bottom_up_update(oid, new_rect)
+        else:
+            self._bottom_up_update(oid, new_rect)
+        self._obs_update_end(begin)
 
     def _bottom_up_update(self, oid: int, new_rect: Rect) -> None:
         leaf_page = self.index.lookup(oid)
@@ -169,9 +183,17 @@ class FURTree(RTreeBase):
         obs = self.obs
         if obs is None:
             return [(e.oid, e.rect) for e in self.range_search(window)]
-        with obs.span("query", io=self.stats, tree=self.name) as sp:
+        tick = self._obs_qtick
+        if tick:
+            self._obs_qtick = tick - 1
+            return [(e.oid, e.rect) for e in self.range_search(window)]
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("query", io=self.stats, tree=self.name):
+                results = [(e.oid, e.rect) for e in self.range_search(window)]
+        else:
             results = [(e.oid, e.rect) for e in self.range_search(window)]
-        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        self._obs_query_end(begin, window)
         return results
 
     def nearest_neighbors(
@@ -181,9 +203,17 @@ class FURTree(RTreeBase):
         obs = self.obs
         if obs is None:
             return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
-        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("knn", io=self.stats, tree=self.name, k=k):
+                results = [
+                    (e.oid, e.rect) for e in self.nearest_entries(x, y, k)
+                ]
+        else:
             results = [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
-        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        self._obs_op_end(
+            begin, "knn", self._obs_c_knn, self._obs_h_query_io, None
+        )
         return results
 
     # ------------------------------------------------------------------
@@ -265,6 +295,25 @@ class FURTree(RTreeBase):
         self.insert(new_rect, oid)  # placement hook repoints the index
 
     # ------------------------------------------------------------------
+
+    def _drift_update_predicted(self, tracker) -> float:
+        """``IO_BU`` (Section 4.2.2) evaluated at the *measured* case mix.
+
+        The paper's bottom-up model is parameterised by the probabilities
+        of the three placement cases; the live tree knows its actual mix,
+        so the drift monitor compares the measured EWMA against the model
+        at those probabilities (0.0 before the first update — the ratio
+        gauge stays 0 until there are samples anyway).
+        """
+        from repro.analysis.cost_model import expected_bottomup_update_io
+
+        in_place, sibling, top_down = self.update_case_mix()
+        total = in_place + sibling + top_down
+        if total == 0:
+            return 0.0
+        return expected_bottomup_update_io(
+            in_place / total, sibling / total
+        )
 
     def update_case_mix(self) -> Tuple[int, int, int]:
         """Counts of (in-place, sibling, top-down) updates processed."""

@@ -40,7 +40,7 @@ entry values a traversal would produce.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.buffer import BufferPool
@@ -75,7 +75,10 @@ def _lo_cell(v: float, grid: int) -> int:
 class QueryMirror:
     """Immutable flat snapshot of one tree's leaf level, grid-bucketed."""
 
-    __slots__ = ("version", "grid", "dir_cells", "entry_cells")
+    __slots__ = (
+        "version", "grid", "dir_cells", "entry_cells",
+        "n_leaves", "n_entries",
+    )
 
     def __init__(
         self,
@@ -83,11 +86,24 @@ class QueryMirror:
         grid: int,
         dir_cells: List[List[_DirRow]],
         entry_cells: List[List[_EntryRow]],
+        n_leaves: int = 0,
+        n_entries: int = 0,
     ) -> None:
         self.version = version
         self.grid = grid
         self.dir_cells = dir_cells
         self.entry_cells = entry_cells
+        self.n_leaves = n_leaves
+        self.n_entries = n_entries
+
+    def summary(self) -> Dict[str, int]:
+        """Build-time facts for EXPLAIN output (no cell scans)."""
+        return {
+            "version": self.version,
+            "grid": self.grid,
+            "n_leaves": self.n_leaves,
+            "n_entries": self.n_entries,
+        }
 
     def search(
         self, wx1: float, wy1: float, wx2: float, wy2: float
@@ -223,4 +239,7 @@ def build_mirror(buffer: "BufferPool", root_id: int) -> QueryMirror:
                 (r.xmin, r.ymin, r.xmax, r.ymax, order, entry),
             )
             order += 1
-    return QueryMirror(version, grid, dir_cells, entry_cells)
+    return QueryMirror(
+        version, grid, dir_cells, entry_cells,
+        n_leaves=len(dir_rows), n_entries=order,
+    )

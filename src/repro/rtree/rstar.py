@@ -55,9 +55,23 @@ class RStarTree(RTreeBase):
         if obs is None:
             self._top_down_update(oid, old_rect, new_rect)
             return
-        with obs.span("update", io=self.stats, tree=self.name, oid=oid) as sp:
+        tick = self._obs_utick
+        if tick:
+            # Unsampled update: exact counter + leaf-I/O histogram only
+            # (see RTreeBase._obs_update_lite).
+            self._obs_utick = tick - 1
+            s = self.stats
+            lio0 = s.leaf_reads + s.leaf_writes
             self._top_down_update(oid, old_rect, new_rect)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+            self._obs_update_lite(lio0)
+            return
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("update", io=self.stats, tree=self.name, oid=oid):
+                self._top_down_update(oid, old_rect, new_rect)
+        else:
+            self._top_down_update(oid, old_rect, new_rect)
+        self._obs_update_end(begin)
 
     def _top_down_update(self, oid: int, old_rect: Rect, new_rect: Rect) -> None:
         if not self.delete(oid, old_rect):
@@ -71,19 +85,34 @@ class RStarTree(RTreeBase):
             if not self.delete(oid, old_rect):
                 raise ObjectNotFoundError(oid)
             return
-        with obs.span("delete", io=self.stats, tree=self.name, oid=oid) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("delete", io=self.stats, tree=self.name, oid=oid):
+                if not self.delete(oid, old_rect):
+                    raise ObjectNotFoundError(oid)
+        else:
             if not self.delete(oid, old_rect):
                 raise ObjectNotFoundError(oid)
-        self._obs_record(self._obs_c_updates, self._obs_h_update_io, sp)
+        self._obs_op_end(
+            begin, "delete", self._obs_c_updates, self._obs_h_update_io, None
+        )
 
     def search(self, window: Rect) -> List[Tuple[int, Rect]]:
         """All objects whose current MBR intersects ``window``."""
         obs = self.obs
         if obs is None:
             return [(e.oid, e.rect) for e in self.range_search(window)]
-        with obs.span("query", io=self.stats, tree=self.name) as sp:
+        tick = self._obs_qtick
+        if tick:
+            self._obs_qtick = tick - 1
+            return [(e.oid, e.rect) for e in self.range_search(window)]
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("query", io=self.stats, tree=self.name):
+                results = [(e.oid, e.rect) for e in self.range_search(window)]
+        else:
             results = [(e.oid, e.rect) for e in self.range_search(window)]
-        self._obs_record(self._obs_c_queries, self._obs_h_query_io, sp)
+        self._obs_query_end(begin, window)
         return results
 
     def nearest_neighbors(
@@ -93,9 +122,17 @@ class RStarTree(RTreeBase):
         obs = self.obs
         if obs is None:
             return [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
-        with obs.span("knn", io=self.stats, tree=self.name, k=k) as sp:
+        begin = self._obs_op_begin()
+        if obs.tracing:
+            with obs.span("knn", io=self.stats, tree=self.name, k=k):
+                results = [
+                    (e.oid, e.rect) for e in self.nearest_entries(x, y, k)
+                ]
+        else:
             results = [(e.oid, e.rect) for e in self.nearest_entries(x, y, k)]
-        self._obs_record(self._obs_c_knn, self._obs_h_query_io, sp)
+        self._obs_op_end(
+            begin, "knn", self._obs_c_knn, self._obs_h_query_io, None
+        )
         return results
 
     def lookup(self, oid: int, rect: Rect) -> Optional[Rect]:

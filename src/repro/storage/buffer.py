@@ -147,11 +147,16 @@ class BufferPool:
         self._op_depth = 0
         #: Stats of the innermost open batch scope (None outside one).
         self._batch: Optional[BatchScopeStats] = None
+        #: Lifetime cache tallies, kept as plain ints *unconditionally*:
+        #: one integer add per page access costs the same with or
+        #: without observability attached, which keeps the per-page hot
+        #: paths off the metrics-level overhead budget entirely.
+        #: ``attach_obs`` mirrors them into lazy gauges.
+        self.hit_count = 0
+        self.miss_count = 0
+        self.write_back_count = 0
         # Telemetry counters bound by attach_obs(); None = disabled.
-        self._obs_hits: Optional[Counter] = None
-        self._obs_misses: Optional[Counter] = None
         self._obs_evictions: Optional[Counter] = None
-        self._obs_write_backs: Optional[Counter] = None
         self._obs_batch_scopes: Optional[Counter] = None
         self._obs_batch_coalesced: Optional[Counter] = None
 
@@ -161,22 +166,31 @@ class BufferPool:
         A *hit* is any ``get_node`` served from the internal cache, the
         operation cache, or the resident LRU; a *miss* reads the disk.
         Write-backs count every dirty page written (operation end, LRU
-        eviction, write-through, and explicit ``flush``).  The attach
-        cascades to the disk manager so one call wires the whole stack.
+        eviction, write-through, and explicit ``flush``).  Hits, misses
+        and write-backs happen a dozen times per tree operation, so they
+        are tallied as plain ints on the pool itself and exposed here as
+        lazy gauges (values count from pool construction, not from
+        attach); rarer events keep real counters.  The attach cascades
+        to the disk manager so one call wires the whole stack.
         """
         if obs is None or not obs.metrics_on:
-            self._obs_hits = self._obs_misses = None
-            self._obs_evictions = self._obs_write_backs = None
+            self._obs_evictions = None
             self._obs_batch_scopes = self._obs_batch_coalesced = None
         else:
             reg = obs.registry
-            self._obs_hits = reg.counter("buffer.hits")
-            self._obs_misses = reg.counter("buffer.misses")
             self._obs_evictions = reg.counter("buffer.evictions")
-            self._obs_write_backs = reg.counter("buffer.write_backs")
             self._obs_batch_scopes = reg.counter("buffer.batch_scopes")
             self._obs_batch_coalesced = reg.counter(
                 "buffer.batch_coalesced_writes"
+            )
+            reg.gauge("buffer.hits").set_function(
+                lambda: float(self.hit_count)
+            )
+            reg.gauge("buffer.misses").set_function(
+                lambda: float(self.miss_count)
+            )
+            reg.gauge("buffer.write_backs").set_function(
+                lambda: float(self.write_back_count)
             )
             reg.gauge("buffer.internal_cached").set_function(
                 self.cached_internal_nodes
@@ -251,8 +265,7 @@ class BufferPool:
                 self.disk.write_page(page_id, self._page_bytes(node))
                 self.stats.record_write(is_leaf=True)
                 written += 1
-                if self._obs_write_backs is not None:
-                    self._obs_write_backs.inc()
+            self.write_back_count += written
         self._dirty_leaves.clear()
         self._op_leaf_cache.clear()
         return written
@@ -290,8 +303,7 @@ class BufferPool:
             self._lru_dirty.discard(page_id)
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
-            if self._obs_write_backs is not None:
-                self._obs_write_backs.inc()
+            self.write_back_count += 1
 
     def _lru_get(self, page_id: int) -> "Node":
         node = self._lru.pop(page_id)
@@ -302,21 +314,17 @@ class BufferPool:
 
     def get_node(self, page_id: int) -> "Node":
         """Fetch a node, charging I/O according to the accounting model."""
-        hits = self._obs_hits
         node = self._internal_cache.get(page_id)
         if node is not None:
-            if hits is not None:
-                hits.inc()
+            self.hit_count += 1
             return node
         node = self._op_leaf_cache.get(page_id)
         if node is not None:
-            if hits is not None:
-                hits.inc()
+            self.hit_count += 1
             return node
         if page_id in self._lru:
             node = self._lru_get(page_id)
-            if hits is not None:
-                hits.inc()
+            self.hit_count += 1
             if self.in_operation:
                 # Move into the operation cache, carrying the dirty flag.
                 del self._lru[page_id]
@@ -328,8 +336,7 @@ class BufferPool:
         data = self.disk.read_page(page_id)
         node = self.codec.decode(page_id, data, lazy=True)
         self.stats.record_read(is_leaf=node.is_leaf)
-        if self._obs_misses is not None:
-            self._obs_misses.inc()
+        self.miss_count += 1
         if node.is_leaf:
             if self.in_operation:
                 self._op_leaf_cache[page_id] = node
@@ -353,21 +360,20 @@ class BufferPool:
         an open operation (an operation's cache would have deduplicated
         repeat reads; this path has no cache to do so).
         """
-        hits = self._obs_hits
         lru = self._lru
         record_read = self.stats.record_read
         read_page = self.disk.read_page
         verify = self.codec.checksums
+        n_hits = 0
+        n_misses = 0
         for page_id in page_ids:
             if page_id in lru:
                 self._lru_get(page_id)  # refresh recency
-                if hits is not None:
-                    hits.inc()
+                n_hits += 1
                 continue
             data = read_page(page_id)
             record_read(True)
-            if self._obs_misses is not None:
-                self._obs_misses.inc()
+            n_misses += 1
             if self.leaf_cache_pages:
                 self._lru_insert(
                     page_id,
@@ -376,6 +382,11 @@ class BufferPool:
                 )
             elif verify:
                 self.codec.verify_page(page_id, data)
+        # Settle the cache tallies once per charge batch: this runs on
+        # the mirror-served query path, where per-page increments are
+        # measurable against the metrics-level overhead budget.
+        self.hit_count += n_hits
+        self.miss_count += n_misses
 
     def peek_node(self, page_id: int) -> "Node":
         """Read a node *without* charging I/O or touching any cache.
@@ -403,6 +414,23 @@ class BufferPool:
             page_id, self.disk.peek(page_id), lazy=True
         )
 
+    def residency(self, page_id: int) -> str:
+        """Which buffer layer currently holds ``page_id``.
+
+        Returns ``"internal"``, ``"op"`` (operation-scoped leaf cache),
+        ``"lru"``, or ``"disk"``.  Pure inspection: no cache is touched
+        and no I/O is charged — the EXPLAIN traversals call this right
+        before ``get_node`` to report the hit/miss a visit is about to
+        take without perturbing the accounting they are explaining.
+        """
+        if page_id in self._internal_cache:
+            return "internal"
+        if page_id in self._op_leaf_cache:
+            return "op"
+        if page_id in self._lru:
+            return "lru"
+        return "disk"
+
     def mark_dirty(self, node: "Node") -> None:
         """Record that ``node`` was modified and must reach disk.
 
@@ -428,8 +456,7 @@ class BufferPool:
                     node.page_id, self._page_bytes(node)
                 )
                 self.stats.record_write(is_leaf=True)
-                if self._obs_write_backs is not None:
-                    self._obs_write_backs.inc()
+                self.write_back_count += 1
         else:
             self._internal_cache[node.page_id] = node
             self._dirty_internal.add(node.page_id)
@@ -473,20 +500,17 @@ class BufferPool:
         if self.in_operation:
             raise RuntimeError("flush() inside an operation")
         self._flush_op_cache()
-        write_backs = self._obs_write_backs
         for page_id in sorted(self._lru_dirty):
             node = self._lru[page_id]
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=True)
-            if write_backs is not None:
-                write_backs.inc()
+            self.write_back_count += 1
         self._lru_dirty.clear()
         for page_id in sorted(self._dirty_internal):
             node = self._internal_cache[page_id]
             self.disk.write_page(page_id, self._page_bytes(node))
             self.stats.record_write(is_leaf=False)
-            if write_backs is not None:
-                write_backs.inc()
+            self.write_back_count += 1
         self._dirty_internal.clear()
 
     def checkpoint(self) -> None:

@@ -93,27 +93,31 @@ class DiskManager:
         self.writes = 0
         # Telemetry counters bound by attach_obs(); None = disabled, so
         # the hot-path cost without observability is a single None check.
-        self._obs_reads: Optional[Counter] = None
-        self._obs_writes: Optional[Counter] = None
         self._obs_allocs: Optional[Counter] = None
         self._obs_frees: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind (or with ``None``/level ``off``, unbind) telemetry.
 
-        Page reads/writes/allocations/frees become ``disk.*`` counters;
-        the resident page count and byte footprint are exposed as
-        callback gauges sampled only at snapshot time.
+        Page reads and writes are already tallied unconditionally as the
+        plain ints ``self.reads``/``self.writes`` — ``disk.page_reads``
+        and ``disk.page_writes`` are lazy gauges over those (values
+        count from manager construction, not from attach), so the
+        per-page hot path carries zero instrumentation cost at any
+        level.  Allocations/frees are rare and keep real counters; the
+        resident page count and byte footprint are callback gauges
+        sampled only at snapshot time.
         """
         if obs is None or not obs.metrics_on:
-            self._obs_reads = self._obs_writes = None
             self._obs_allocs = self._obs_frees = None
             return
         reg = obs.registry
-        self._obs_reads = reg.counter("disk.page_reads")
-        self._obs_writes = reg.counter("disk.page_writes")
         self._obs_allocs = reg.counter("disk.allocations")
         self._obs_frees = reg.counter("disk.frees")
+        reg.gauge("disk.page_reads").set_function(lambda: float(self.reads))
+        reg.gauge("disk.page_writes").set_function(
+            lambda: float(self.writes)
+        )
         reg.gauge("disk.pages").set_function(self.num_pages)
         reg.gauge("disk.bytes").set_function(self.total_bytes)
 
@@ -149,8 +153,6 @@ class DiskManager:
         except KeyError:
             raise PageNotAllocatedError(page_id) from None
         self.reads += 1
-        if self._obs_reads is not None:
-            self._obs_reads.inc()
         return data
 
     def peek(self, page_id: int) -> bytes:
@@ -173,8 +175,6 @@ class DiskManager:
         # (bytearray/memoryview) are actually copied here.
         self._pages[page_id] = bytes(data)
         self.writes += 1
-        if self._obs_writes is not None:
-            self._obs_writes.inc()
 
     # -- introspection ---------------------------------------------------------
 

@@ -63,20 +63,22 @@ class FileDiskManager:
         self._next_id = 0
         self.reads = 0
         self.writes = 0
-        self._obs_reads: Optional[Counter] = None
-        self._obs_writes: Optional[Counter] = None
         self._obs_syncs: Optional[Counter] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
-        """Bind telemetry counters (same channel names as the in-memory
-        manager, plus ``disk.syncs`` for durability points)."""
+        """Bind telemetry (same channel names as the in-memory manager,
+        plus ``disk.syncs`` for durability points).  Page reads/writes
+        ride the unconditional plain-int tallies as lazy gauges, exactly
+        like :class:`~repro.storage.disk.DiskManager`."""
         if obs is None or not obs.metrics_on:
-            self._obs_reads = self._obs_writes = self._obs_syncs = None
+            self._obs_syncs = None
             return
         reg = obs.registry
-        self._obs_reads = reg.counter("disk.page_reads")
-        self._obs_writes = reg.counter("disk.page_writes")
         self._obs_syncs = reg.counter("disk.syncs")
+        reg.gauge("disk.page_reads").set_function(lambda: float(self.reads))
+        reg.gauge("disk.page_writes").set_function(
+            lambda: float(self.writes)
+        )
         reg.gauge("disk.pages").set_function(self.num_pages)
         reg.gauge("disk.bytes").set_function(self.total_bytes)
 
@@ -174,8 +176,6 @@ class FileDiskManager:
         if page_id not in self._allocated:
             raise PageNotAllocatedError(page_id)
         self.reads += 1
-        if self._obs_reads is not None:
-            self._obs_reads.inc()
         return self._read_raw(page_id)
 
     def peek(self, page_id: int) -> bytes:
@@ -193,8 +193,6 @@ class FileDiskManager:
                 f"{self.page_size}-byte page"
             )
         self.writes += 1
-        if self._obs_writes is not None:
-            self._obs_writes.inc()
         self._write_raw(page_id, bytes(data))
 
     # -- introspection ----------------------------------------------------------

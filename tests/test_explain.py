@@ -1,0 +1,188 @@
+"""EXPLAIN/ANALYZE tests — the reconciliation contract.
+
+The defining invariant of ``explain_query`` / ``explain_knn`` /
+``explain_update`` is that the reported trace accounts for the
+operation's I/O *exactly*: per-visit deltas plus per-phase residuals sum
+to the global :class:`IOStats` delta measured across the call.  These
+tests pin that equality for all three tree variants, with and without
+observability attached (EXPLAIN needs no obs — it is a property of the
+tree, not of the telemetry layer).
+"""
+
+import pytest
+
+from repro.factory import build_fur_tree, build_rstar_tree, build_rum_tree
+from repro.obs import Observability
+from repro.obs.explain import SCHEMA
+from repro.rtree.geometry import Rect
+from repro.storage.iostats import IOSnapshot
+from repro.workload.objects import default_network_workload
+
+BUILDERS = [build_rstar_tree, build_fur_tree, build_rum_tree]
+IDS = ["rstar", "fur", "rum"]
+
+
+def _loaded(build, n=150, obs=None, **kwargs):
+    tree = build(node_size=2048, obs=obs, **kwargs)
+    w = default_network_workload(n, moving_distance=0.02, seed=5)
+    for oid, rect in w.initial():
+        tree.insert_object(oid, rect)
+    return tree, w
+
+
+class TestQueryReconciliation:
+    @pytest.mark.parametrize("build", BUILDERS, ids=IDS)
+    def test_trace_reconciles_exactly_with_iostats(self, build):
+        tree, _ = _loaded(build)
+        window = Rect(0.2, 0.2, 0.6, 0.6)
+        before = tree.stats.snapshot()
+        report = tree.explain_query(window)
+        delta = tree.stats.snapshot() - before
+        assert report.io_delta == delta
+        assert report.reconciles()
+        assert report.accounted_io() == delta
+        assert report.visits  # at least the root was inspected
+
+    @pytest.mark.parametrize("build", BUILDERS, ids=IDS)
+    def test_results_match_live_search(self, build):
+        tree, _ = _loaded(build)
+        window = Rect(0.1, 0.1, 0.9, 0.9)
+        report = tree.explain_query(window)
+        assert report.results == len(tree.search(window))
+
+    def test_levels_and_leaf_flags_consistent(self):
+        tree, _ = _loaded(build_rum_tree, n=400)
+        report = tree.explain_query(Rect(0.0, 0.0, 1.0, 1.0))
+        for v in report.visits:
+            assert v.is_leaf == (v.level == 0)
+            assert v.residency in ("internal", "op", "lru", "disk")
+            assert 0 <= v.entries_matched <= v.entries_tested
+        levels = report.nodes_per_level()
+        assert max(levels) == tree.height - 1
+        assert levels[max(levels)] == 1  # exactly one root visit
+
+    def test_rum_memo_block_partitions_inspections(self):
+        tree, w = _loaded(build_rum_tree)
+        for oid, old, new in w.updates(200):
+            tree.update_object(oid, old, new)
+        report = tree.explain_query(Rect(0.0, 0.0, 1.0, 1.0))
+        memo = report.memo
+        assert memo["inspections"] == memo["latest"] + memo["obsolete"]
+        assert report.results == memo["latest"]
+
+    def test_serving_decision_reported(self):
+        tree, _ = _loaded(build_rum_tree)
+        report = tree.explain_query(Rect(0.2, 0.2, 0.4, 0.4))
+        assert report.served_by in ("mirror", "traversal")
+        if report.served_by == "mirror":
+            assert report.mirror is not None
+
+    def test_as_dict_schema_and_render(self):
+        tree, _ = _loaded(build_rum_tree)
+        report = tree.explain_query(Rect(0.2, 0.2, 0.6, 0.6))
+        d = report.as_dict()
+        assert d["schema"] == SCHEMA
+        assert d["reconciles"] is True
+        text = report.render()
+        assert "EXPLAIN ANALYZE query" in text
+        assert "reconciles with IOStats delta: True" in text
+
+
+class TestKnnReconciliation:
+    @pytest.mark.parametrize("build", BUILDERS, ids=IDS)
+    def test_trace_reconciles_and_returns_k(self, build):
+        tree, _ = _loaded(build)
+        before = tree.stats.snapshot()
+        report = tree.explain_knn(0.5, 0.5, 5)
+        delta = tree.stats.snapshot() - before
+        assert report.io_delta == delta
+        assert report.reconciles()
+        assert report.results == 5
+        live = tree.nearest_neighbors(0.5, 0.5, 5)
+        assert len(live) == 5
+
+    def test_rum_knn_filters_obsolete_through_memo(self):
+        tree, w = _loaded(build_rum_tree)
+        for oid, old, new in w.updates(300):
+            tree.update_object(oid, old, new)
+        report = tree.explain_knn(0.5, 0.5, 8)
+        assert report.results == 8
+        memo = report.memo
+        assert memo["inspections"] == memo["latest"] + memo["obsolete"]
+        # kNN stops once k latest entries surfaced, so latest >= k.
+        assert memo["latest"] >= 8
+
+
+class TestUpdateReconciliation:
+    @pytest.mark.parametrize(
+        "build", [build_rstar_tree, build_fur_tree], ids=["rstar", "fur"]
+    )
+    def test_baseline_update_reconciles_via_phase(self, build):
+        tree, w = _loaded(build)
+        oid, old, new = next(iter(w.updates(1)))
+        before = tree.stats.snapshot()
+        report = tree.explain_update(oid, new, old_rect=old)
+        delta = tree.stats.snapshot() - before
+        assert report.io_delta == delta
+        assert report.reconciles()
+        assert set(report.phases) == {"update"}
+        # The mutation really happened: the new rect is indexed.
+        assert (oid, new) in tree.search(new)
+
+    @pytest.mark.parametrize(
+        "build", [build_rstar_tree, build_fur_tree], ids=["rstar", "fur"]
+    )
+    def test_baseline_update_requires_old_rect(self, build):
+        tree, w = _loaded(build)
+        oid, _old, new = next(iter(w.updates(1)))
+        with pytest.raises(ValueError):
+            tree.explain_update(oid, new)
+
+    def test_rum_update_attributes_all_three_phases(self):
+        tree, w = _loaded(build_rum_tree)
+        for oid, old, new in w.updates(100):
+            tree.update_object(oid, old, new)
+        oid, _old, new = next(iter(w.updates(1)))
+        before = tree.stats.snapshot()
+        report = tree.explain_update(oid, new)  # old_rect not needed
+        delta = tree.stats.snapshot() - before
+        assert report.io_delta == delta
+        assert report.reconciles()
+        assert set(report.phases) == {"memo", "insert", "clean"}
+        total = IOSnapshot()
+        for io in report.phases.values():
+            total = total + io
+        assert total == delta  # visits carry zero I/O (pre-walked peeks)
+        assert report.memo["stamp"] > 0
+        # The descent trace ends at a leaf.
+        assert report.visits[-1].is_leaf
+
+    def test_rum_update_reconciles_with_wal_logging(self):
+        tree, w = _loaded(build_rum_tree, recovery_option="III")
+        oid, _old, new = next(iter(w.updates(1)))
+        before = tree.stats.snapshot()
+        report = tree.explain_update(oid, new)
+        delta = tree.stats.snapshot() - before
+        assert report.reconciles()
+        assert report.io_delta == delta
+        # Option III forces the memo-change log write into the memo phase.
+        assert report.phases["memo"].log_writes >= 1
+
+
+class TestExplainWithObsAttached:
+    """EXPLAIN runs must not corrupt the live telemetry counters."""
+
+    def test_explain_query_does_not_count_as_live_query(self):
+        obs = Observability(level="metrics")
+        tree, _ = _loaded(build_rum_tree, obs=obs)
+        q0 = obs.registry.snapshot().counters.get("tree.queries", 0)
+        report = tree.explain_query(Rect(0.2, 0.2, 0.6, 0.6))
+        assert report.reconciles()
+        assert obs.registry.snapshot().counters.get("tree.queries", 0) == q0
+
+    def test_explain_update_reconciles_under_metrics(self):
+        obs = Observability(level="metrics")
+        tree, w = _loaded(build_rum_tree, obs=obs)
+        oid, _old, new = next(iter(w.updates(1)))
+        report = tree.explain_update(oid, new)
+        assert report.reconciles()

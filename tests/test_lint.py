@@ -30,6 +30,7 @@ ALL_RULE_IDS = (
     "REP007",
     "REP008",
     "REP009",
+    "REP010",
 )
 
 
@@ -507,6 +508,63 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ALL_RULE_IDS:
             assert rule_id in out
+
+
+class TestObsBoundInstruments:
+    def test_flags_registry_call_outside_attach(self, tmp_path):
+        write(
+            tmp_path,
+            "rtree/x.py",
+            """
+            def hot(self, reg):
+                reg.counter("tree.queries").inc()
+            """,
+        )
+        diags = lint(tmp_path, "REP010")
+        assert rule_ids(diags) == {"REP010"}
+
+    def test_flags_default_obs_lookup(self, tmp_path):
+        write(
+            tmp_path,
+            "core/x.py",
+            """
+            from repro.obs import get_default_obs
+
+            def hot(self):
+                obs = get_default_obs()
+                return obs
+            """,
+        )
+        diags = lint(tmp_path, "REP010")
+        assert rule_ids(diags) == {"REP010"}
+
+    def test_attach_obs_binding_is_allowed(self, tmp_path):
+        write(
+            tmp_path,
+            "storage/x.py",
+            """
+            class Pool:
+                def attach_obs(self, obs):
+                    reg = obs.registry
+                    self._c_reads = reg.counter("disk.page_reads")
+
+                def hot(self):
+                    if self._c_reads is not None:
+                        self._c_reads.inc()
+            """,
+        )
+        assert lint(tmp_path, "REP010") == []
+
+    def test_other_segments_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "experiments/x.py",
+            """
+            def render(reg):
+                return reg.counter("tables").value
+            """,
+        )
+        assert lint(tmp_path, "REP010") == []
 
 
 class TestRealTree:

@@ -98,11 +98,14 @@ class TestMetricsWiring:
         tree = build_rum_tree(node_size=2048, obs=obs)
         _run_workload(tree)
         snap = obs.registry.snapshot()
-        assert snap.counters["buffer.misses"] == snap.counters[
+        # Per-page tallies are plain ints mirrored into lazy gauges
+        # (zero hot-path instrumentation cost); rarer storage events
+        # stay counters.
+        assert snap.gauges["buffer.misses"] == snap.gauges[
             "disk.page_reads"
         ]
-        assert snap.counters["buffer.hits"] > 0
-        assert snap.counters["disk.page_writes"] > 0
+        assert snap.gauges["buffer.hits"] > 0
+        assert snap.gauges["disk.page_writes"] > 0
         assert snap.gauges["disk.pages"] > 0
 
     def test_wal_append_counter(self):
@@ -159,6 +162,88 @@ class TestMetricsWiring:
         assert snap.gauges["memo.total_n_old"] == 5
 
 
+class TestMemoOpTallies:
+    def test_memo_gauges_track_per_update_probe_mix(self):
+        obs = Observability(level="metrics")
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=200)
+        tree.search(Rect(0.0, 0.0, 1.0, 1.0))
+        snap = obs.registry.snapshot()
+        memo = tree.memo
+        # The probe tallies ride plain ints mirrored into gauges; they
+        # must agree with the live object and partition lookups >= hits.
+        assert snap.gauges["memo.lookups"] == memo.lookup_count
+        assert snap.gauges["memo.hits"] == memo.hit_count
+        assert memo.lookup_count > 0
+        assert 0 <= memo.hit_count <= memo.lookup_count
+        assert snap.counters["memo.inserts"] > 0
+
+    def test_memo_mutation_counters_none_when_disabled(self):
+        memo = UpdateMemo()
+        assert memo._obs_inserts is None
+        memo.attach_obs(None)
+        assert memo._obs_inserts is None
+        memo.record_update(1, 1)
+        assert memo.is_obsolete(1, 1) is False
+        # Probe tallies are unconditional (both paths pay one int add).
+        assert memo.lookup_count == 1
+        assert memo.hit_count == 1
+
+    def test_detach_stops_mutation_counters_keeps_tallies(self):
+        obs = Observability(level="metrics")
+        memo = UpdateMemo()
+        memo.attach_obs(obs)
+        memo.record_update(1, 1)
+        memo.attach_obs(None)
+        assert memo._obs_inserts is None
+        memo.record_update(2, 2)  # must not raise
+        memo.is_obsolete(2, 1)
+        assert memo.lookup_count == 1
+
+
+class TestOpSampling:
+    """The adaptive stride keeps full capture off most hot ops while the
+    counters/histograms stay exact — pinned here for updates and at the
+    query sample boundaries."""
+
+    def test_update_counter_and_histogram_exact_under_sampling(self):
+        obs = Observability(level="metrics")
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_objects=120, n_updates=700)
+        snap = obs.registry.snapshot()
+        assert snap.counters["tree.updates"] == 820
+        assert snap.histograms["tree.update_leaf_io"].count == 820
+        # Fast in-memory updates widen the stride toward the cap.
+        assert tree._obs_ustride > 1
+
+    def test_trace_level_never_widens_update_stride(self):
+        obs = Observability(level="trace")
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=300)
+        assert tree._obs_ustride == 1
+        assert tree._obs_utick == 0
+
+    def test_query_counter_exact_at_detach(self):
+        obs = Observability(level="metrics")
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=50)
+        for _ in range(37):
+            tree.search(Rect(0.4, 0.4, 0.6, 0.6))
+        tree.attach_obs(None)  # settles the unsampled remainder
+        snap = obs.registry.snapshot()
+        assert snap.counters["tree.queries"] == 37
+
+    def test_reattach_resets_strides(self):
+        obs = Observability(level="metrics")
+        tree = build_rum_tree(node_size=2048, obs=obs)
+        _run_workload(tree, n_updates=700)
+        assert tree._obs_ustride > 1
+        tree.attach_obs(Observability(level="metrics"))
+        assert tree._obs_ustride == 1
+        assert tree._obs_utick == 0
+        assert tree._obs_qstride == 1
+
+
 class TestAttachDetach:
     def test_level_off_runs_uninstrumented_path(self):
         tree = build_rum_tree(
@@ -166,7 +251,7 @@ class TestAttachDetach:
         )
         assert tree.obs is None
         assert tree._obs_c_updates is None
-        assert tree.buffer._obs_hits is None
+        assert tree.buffer._obs_evictions is None
         _run_workload(tree, n_updates=20)  # must not raise
 
     def test_reattach_none_detaches(self):
@@ -175,7 +260,7 @@ class TestAttachDetach:
         assert tree.obs is obs
         tree.attach_obs(None)
         assert tree.obs is None
-        assert tree.buffer._obs_hits is None
+        assert tree.buffer._obs_evictions is None
         _run_workload(tree, n_updates=20)
 
     def test_metrics_level_skips_spans(self):

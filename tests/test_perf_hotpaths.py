@@ -302,6 +302,30 @@ class TestBenchCompare:
         out = capsys.readouterr().out
         assert "summary: 1 regression(s)" in out
 
+    def test_delta_pct_percentile_summary(self, capsys):
+        mod = self._load_script()
+        # Deltas: -20%, -10%, 0%, +10%, +20% over shared metrics; the
+        # new/removed entries must be excluded from the distribution.
+        base = self._report(
+            a=1000.0, b=1000.0, c=1000.0, d=1000.0, e=1000.0, gone=1.0
+        )
+        cur = self._report(
+            a=800.0, b=900.0, c=1000.0, d=1100.0, e=1200.0, fresh=1.0
+        )
+        report = mod.compare(base, cur, threshold=0.50)
+        summary = report["delta_pct_summary"]
+        assert summary["count"] == 5
+        assert summary["p50"] == pytest.approx(0.0)
+        assert summary["p95"] == pytest.approx(18.0)  # interpolated
+        assert summary["p99"] == pytest.approx(19.6)
+        assert "delta distribution" in capsys.readouterr().out
+
+    def test_percentile_helper_edges(self):
+        mod = self._load_script()
+        assert mod.percentile([], 0.5) == 0.0
+        assert mod.percentile([7.0], 0.99) == 7.0
+        assert mod.percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+
     def test_end_to_end_exit_codes(self, tmp_path):
         mod = self._load_script()
         import json
