@@ -33,6 +33,7 @@ import json
 import pathlib
 import random
 import sys
+import tempfile
 import time
 from typing import Callable, Dict
 
@@ -41,6 +42,7 @@ if __name__ == "__main__":  # allow running without an installed package
 
 from repro import kernels
 from repro.core.memo import UpdateMemo
+from repro.core.memo_lsm import SpillingUpdateMemo
 from repro.obs import Observability
 from repro.experiments.harness import (
     bench_scale,
@@ -251,6 +253,31 @@ def bench_memo(metrics: Dict, iters: int) -> None:
         "ops_per_sec": _timed(memo_cycle, rounds) * n_oids,
         "iterations": rounds * n_oids,
     }
+
+    # latest_stamp against the LSM-tiered memo with the RAM tier pinned
+    # far below the population, so nearly every probe walks the Bloom
+    # filters and sorted runs — the CheckStatus cost a spilled memo
+    # adds to query filtering and cleaning.
+    from repro.storage.wal import UM_ENTRY_BYTES
+
+    with tempfile.TemporaryDirectory(prefix="bench-memo-") as tmp:
+        spilled = SpillingUpdateMemo(
+            tmp,
+            spill_budget=32 * UM_ENTRY_BYTES,
+            compact_threshold=4,
+        )
+        for oid in range(n_oids):
+            spilled.record_update(oid, oid + 1)
+
+        def probe_spilled() -> None:
+            for oid in range(n_oids):
+                spilled.latest_stamp(oid)
+
+        metrics["memo.probe_spilled"] = {
+            "ops_per_sec": _timed(probe_spilled, rounds) * n_oids,
+            "iterations": rounds * n_oids,
+        }
+        spilled.close()
 
 
 def bench_end_to_end(metrics: Dict, suffix: str = "", obs=None) -> None:

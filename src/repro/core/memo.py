@@ -21,7 +21,17 @@ lock individual hash buckets.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+from contextlib import nullcontext
+from typing import (
+    TYPE_CHECKING,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.storage.wal import UM_ENTRY_BYTES
 
@@ -166,12 +176,15 @@ class UpdateMemo:
         step 1b)."""
         bucket = self._bucket(oid)
         entry = bucket.get(oid)
-        if self._obs_cleaned is not None:
-            self._obs_cleaned.inc()
         if entry is None:
             raise KeyError(
                 f"cleaned an obsolete entry for oid {oid} with no UM entry"
             )
+        # Count only cleans that actually drained an N_old — a KeyError
+        # raised above means nothing was cleaned, so `memo.cleaned` must
+        # not move (it reconciles against the cleaner's removal count).
+        if self._obs_cleaned is not None:
+            self._obs_cleaned.inc()
         entry.n_old -= 1
         if entry.n_old <= 0:
             del bucket[oid]
@@ -223,11 +236,52 @@ class UpdateMemo:
         ]
 
     def restore(self, entries: Iterator[Tuple[int, int, int]]) -> None:
-        """Replace the whole memo content (crash recovery)."""
+        """Replace the whole memo content (crash recovery).
+
+        Entries with ``n_old <= 0`` are dropped: a non-positive count can
+        never be drained by ``note_cleaned`` (which deletes at zero) and
+        ``purge_phantoms`` will not touch the entry while its ``S_latest``
+        is recent, so restoring one would leak it forever.  A memo entry
+        exists precisely to count obsolete entries — "no obsolete entries"
+        is represented by *absence* (Section 3.1), never by a zero count.
+        """
         for bucket in self._buckets:
             bucket.clear()
         for oid, s_latest, n_old in entries:
+            if n_old <= 0:
+                continue
             self._bucket(oid)[oid] = UMEntry(oid, s_latest, n_old)
+
+    # ------------------------------------------------------------------
+    # Spill-tier hooks (overridden by SpillingUpdateMemo)
+    # ------------------------------------------------------------------
+
+    def latest_stamp(self, oid: int) -> Optional[int]:
+        """``S_latest`` for ``oid``, or ``None`` when no entry exists.
+
+        Semantically ``get(oid).s_latest`` with probe-tally accounting,
+        but overridable by the disk-tiered memo as a *first-hit* probe:
+        the newest record for ``oid`` already carries the latest stamp,
+        so the probe can stop without aggregating ``N_old`` across runs.
+        Hot callers (search filtering, the cleaner's CheckStatus) should
+        prefer this over :meth:`get`.
+        """
+        entry = self._bucket(oid).get(oid)
+        self.lookup_count += 1
+        if entry is None:
+            return None
+        self.hit_count += 1
+        return entry.s_latest
+
+    def defer_spills(self) -> ContextManager[None]:
+        """Context manager suspending budget-triggered spills.
+
+        A no-op for the pure in-RAM memo.  The disk-tiered memo overrides
+        it so a batch apply (PR 5) stages all its ``record_update`` calls
+        in RAM and flushes at most one run at scope exit instead of
+        spilling mid-batch.
+        """
+        return nullcontext()
 
     # ------------------------------------------------------------------
     # Size metrics (Figures 12d/13d/14d)

@@ -84,6 +84,7 @@ class RUMTree(RTreeBase):
         n_tokens: int = 1,
         clean_upon_touch: bool = True,
         memo_buckets: int = 64,
+        memo: Optional[UpdateMemo] = None,
         recovery_option: Optional[str] = None,
         checkpoint_interval: int = 10_000,
         wal: Optional[WriteAheadLog] = None,
@@ -111,7 +112,13 @@ class RUMTree(RTreeBase):
         kwargs.setdefault("maintain_leaf_ring", True)
         super().__init__(buffer, **kwargs)
 
-        self.memo = UpdateMemo(n_buckets=memo_buckets)
+        # An injected memo (e.g. the disk-tiered SpillingUpdateMemo, or a
+        # reopened instance during crash recovery) replaces the default
+        # in-RAM hash; every memo touch goes through self.memo, so the
+        # tree is agnostic to which tier answers.
+        self.memo = memo if memo is not None else UpdateMemo(
+            n_buckets=memo_buckets
+        )
         self.stamps = StampCounter()
         self.clean_upon_touch = clean_upon_touch
         self.recovery_option = recovery_option
@@ -301,7 +308,11 @@ class RUMTree(RTreeBase):
         wal_scope: ContextManager[None] = (
             self.wal.group_commit() if full_log else nullcontext()
         )
-        with self.buffer.batch_scope() as scope, wal_scope:
+        # defer_spills: with a disk-tiered memo the batch's records stay
+        # in RAM and flush as at most one run at scope exit — the batch
+        # *is* the memo run flush (a no-op for the in-RAM memo).
+        with self.buffer.batch_scope() as scope, wal_scope, \
+                self.memo.defer_spills():
             for d in plan.deletes:
                 stamp = self.stamps.next()
                 self.memo.record_update(d.oid, stamp)
@@ -354,25 +365,19 @@ class RUMTree(RTreeBase):
         return results
 
     def _memo_filtered_search(self, window: Rect) -> List[Tuple[int, Rect]]:
-        # CheckStatus per raw entry, probing via memo.get and settling
-        # the memo's plain-int probe tallies once per query — the
-        # classification is identical to check_status's.
+        # CheckStatus per raw entry via memo.latest_stamp — the first-hit
+        # probe every memo tier answers in ~O(1) (the disk-tiered memo
+        # stops at the newest record instead of aggregating N_old), with
+        # the probe tallies maintained inside the memo.  Classification
+        # is identical to check_status's.
         raw = self.range_search(window)
-        memo = self.memo
-        get = memo.get
+        latest = self.memo.latest_stamp
         results: List[Tuple[int, Rect]] = []
         append = results.append
-        hits = 0
         for e in raw:
-            ume = get(e.oid)
-            if ume is None:
+            s_latest = latest(e.oid)
+            if s_latest is None or e.stamp == s_latest:
                 append((e.oid, e.rect))
-            else:
-                hits += 1
-                if e.stamp == ume.s_latest:
-                    append((e.oid, e.rect))
-        memo.lookup_count += len(raw)
-        memo.hit_count += hits
         return results
 
     def nearest_neighbors(
@@ -615,29 +620,22 @@ class RUMTree(RTreeBase):
             # the entries of a lazily decoded leaf.
             return 0
         memo = self.memo
-        get = memo.get
+        latest = memo.latest_stamp
         note_cleaned = memo.note_cleaned
         kept: List[LeafEntry] = []
         keep = kept.append
         removed = 0
-        probes = 0
-        hits = 0
-        # Obsolescence probes go through memo.get with one settlement of
-        # the memo's plain-int probe tallies per sweep; the exhausted-
-        # budget short circuit skips the probe exactly as before.
+        # Obsolescence probes go through memo.latest_stamp (first-hit,
+        # tallies maintained inside the memo); the exhausted-budget
+        # short circuit skips the probe exactly as before.
         for entry in leaf.entries:
             if removed < budget:
-                probes += 1
-                ume = get(entry.oid)
-                if ume is not None:
-                    hits += 1
-                    if entry.stamp != ume.s_latest:
-                        note_cleaned(entry.oid)
-                        removed += 1
-                        continue
+                s_latest = latest(entry.oid)
+                if s_latest is not None and entry.stamp != s_latest:
+                    note_cleaned(entry.oid)
+                    removed += 1
+                    continue
             keep(entry)
-        memo.lookup_count += probes
-        memo.hit_count += hits
         if removed:
             leaf.entries = kept
             self.buffer.mark_dirty(leaf)

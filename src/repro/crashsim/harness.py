@@ -64,10 +64,19 @@ computable per option:
 
 from __future__ import annotations
 
+import os
 import random
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.core.memo_lsm import (
+    MANIFEST_TMP_FILE,
+    RUN_SUFFIX,
+    MemoCorruptionError,
+    SpillingUpdateMemo,
+)
 from repro.core.recovery import RECOVERY_PROCEDURES, RecoveryReport
 from repro.core.rum import RUMTree
 from repro.core.memo import LATEST
@@ -128,6 +137,37 @@ class WorkloadConfig:
     tick_every: int = 25        # ops between durability ticks
     checkpoint_every: int = 30  # ops between UM checkpoints (II/III)
     seed: int = 7
+    #: RAM budget (bytes) for the disk-tiered Update Memo.  ``None``
+    #: keeps the pure in-RAM memo — except for ``memo.*`` fault points,
+    #: where the harness auto-enables the spilling memo with a tiny
+    #: default budget so the fault sites actually execute.
+    memo_spill_budget: Optional[int] = None
+    memo_compact_threshold: int = 2
+
+
+#: Auto-enabled spill budget for ``memo.*`` scenarios: small enough that
+#: the 90-op crash workload flushes and compacts several times.
+_MEMO_FAULT_BUDGET = 256
+
+
+def _env_spill_budget() -> Optional[int]:
+    """``REPRO_MEMO_SPILL_BUDGET`` (bytes): force *every* crash scenario
+    onto the disk-tiered memo.  The CI tier-1 memo leg sets a tiny value
+    so the whole fault matrix — disk and WAL points included — runs with
+    the memo actively spilling and compacting mid-workload."""
+    raw = os.environ.get("REPRO_MEMO_SPILL_BUDGET")
+    if raw is None:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_MEMO_SPILL_BUDGET={raw!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return budget if budget > 0 else None
 
 
 @dataclass
@@ -287,6 +327,33 @@ def run_scenario(
         if option != "I"
         else None
     )
+    # The disk-tiered memo: always for memo.* fault points (the sites
+    # must execute to fire), opt-in via the config otherwise.  It shares
+    # the scenario's injector and lands its run I/O on the same stats.
+    memo_fault = scenario.point is not None and scenario.point.startswith(
+        "memo."
+    )
+    env_budget = _env_spill_budget()
+    memo_budget = (
+        config.memo_spill_budget
+        if config.memo_spill_budget is not None
+        else (env_budget if env_budget is not None else _MEMO_FAULT_BUDGET)
+    )
+    memo_dir: Optional[Path] = None
+    memo: Optional[SpillingUpdateMemo] = None
+    if (
+        memo_fault
+        or config.memo_spill_budget is not None
+        or env_budget is not None
+    ):
+        memo_dir = Path(directory) / "memo"
+        memo = SpillingUpdateMemo(
+            memo_dir,
+            spill_budget=memo_budget,
+            compact_threshold=config.memo_compact_threshold,
+            stats=stats,
+            faults=injector,
+        )
     tree = RUMTree(
         buffer,
         inspection_ratio=0.0,       # cleaning off -> exact oracle
@@ -294,6 +361,7 @@ def run_scenario(
         recovery_option=option,
         wal=wal,
         checkpoint_interval=10**9,  # checkpoints are scripted explicitly
+        memo=memo,
     )
 
     oracle = _WorkloadOracle()
@@ -317,6 +385,7 @@ def run_scenario(
         )
 
     pending: Optional[Tuple] = None
+    memo_detected_inflight = False
     for op in _script_ops(config, option, rng):
         try:
             kind = op[0]
@@ -332,6 +401,14 @@ def run_scenario(
         except SimulatedCrash:
             pending = op
             break
+        except MemoCorruptionError:
+            # A silently damaged run was caught in flight (a compaction
+            # re-validated its inputs).  That *is* the detection
+            # guarantee — but only corrupt mode may trade a crash for it.
+            if scenario.mode != "corrupt":
+                raise
+            memo_detected_inflight = True
+            break
         oracle.commit(op)
         if kind == "tick":
             tick_allocs.append(frozenset(inner.page_ids()))
@@ -346,7 +423,7 @@ def run_scenario(
             pending=pending[0],
         )
 
-    if scenario.mode == "torn":
+    if scenario.mode == "torn" and not memo_fault:
         return _verify_damage_detected(
             scenario, crashed, inner, codec, "torn-detected", obs
         )
@@ -357,10 +434,18 @@ def run_scenario(
             )
         if not injector.fired:
             raise CrashSimError(f"{scenario.name}: fault never fired")
+        if memo_fault:
+            return _verify_memo_corruption_detected(
+                scenario, config, memo_dir, memo_budget, injector,
+                memo_detected_inflight, obs,
+            )
         return _verify_damage_detected(
             scenario, crashed, inner, codec, "corruption-detected", obs
         )
 
+    # A torn memo-run write crashes the writer like any torn page, but
+    # the damage sits in an *unnamed* run file: recovery must sweep it
+    # and proceed — so memo torn scenarios verify full recovery below.
     if scenario.point is not None and not crashed:
         raise CrashSimError(
             f"{scenario.name}: fault {scenario.point} never fired "
@@ -369,6 +454,7 @@ def run_scenario(
     return _recover_and_verify(
         scenario, config, directory, tree, buffer, inner, wal,
         injector, oracle, tick_allocs, pending, obs,
+        memo_dir=memo_dir, memo_budget=memo_budget,
     )
 
 
@@ -411,9 +497,47 @@ def _verify_damage_detected(
     )
 
 
+def _verify_memo_corruption_detected(
+    scenario, config, memo_dir, memo_budget, injector, detected_inflight,
+    obs,
+) -> CrashOutcome:
+    """Silent damage to the memo's disk tier cannot be repaired — it
+    must be *found*: either a compaction re-validating its inputs raised
+    in flight, or reopening the tier fails its CRC checks.  Never may a
+    damaged run or manifest silently decode into memo state."""
+    checks: List[str] = []
+    injector.disarm()
+    if detected_inflight:
+        checks.append("corrupt run caught in flight by compaction")
+    else:
+        try:
+            probe = SpillingUpdateMemo(
+                memo_dir,
+                spill_budget=memo_budget,
+                compact_threshold=config.memo_compact_threshold,
+            )
+        except MemoCorruptionError:
+            checks.append("corrupt memo tier fails CRC at reopen")
+        else:
+            probe.close()
+            raise CrashSimError(
+                f"{scenario.name}: damaged memo tier silently reopened"
+            )
+    if obs is not None:
+        obs.event(
+            "crashsim.memo_corruption_detected", point=scenario.point,
+            inflight=detected_inflight,
+        )
+    return CrashOutcome(
+        scenario=scenario, crashed=False,
+        kind="memo-corruption-detected", checks=checks,
+    )
+
+
 def _recover_and_verify(
     scenario, config, directory, tree, buffer, inner, wal,
     injector, oracle, tick_allocs, pending, obs,
+    memo_dir=None, memo_budget=0,
 ) -> CrashOutcome:
     checks: List[str] = []
     injector.disarm()
@@ -455,6 +579,42 @@ def _recover_and_verify(
     buffer2 = BufferPool(disk2, codec2, stats2)
     if wal is not None:
         wal.stats = stats2  # recovery I/O lands on the reopened stack
+
+    # The memo's spilled tier survives the crash like the tree pages;
+    # only the RAM tier dies.  Reopening must land on the last durable
+    # manifest: drop an in-flight manifest temp, validate every named
+    # run, sweep orphans (a torn run flush or an un-swapped compaction
+    # output is an unnamed file).  The recovery option then *rebuilds*
+    # the memo content through this reopened tier, so every oracle check
+    # below also exercises the disk-resident memo path.
+    memo2: Optional[SpillingUpdateMemo] = None
+    if memo_dir is not None:
+        if scenario.point == "memo.manifest":
+            _check(
+                (memo_dir / MANIFEST_TMP_FILE).exists(),
+                f"{scenario.name}: crash left no temp memo manifest",
+                checks, "in-flight temp memo manifest present",
+            )
+        memo2 = SpillingUpdateMemo(
+            memo_dir,
+            spill_budget=memo_budget,
+            compact_threshold=config.memo_compact_threshold,
+            stats=stats2,
+        )
+        _check(
+            not (memo_dir / MANIFEST_TMP_FILE).exists(),
+            f"{scenario.name}: memo reopen kept the manifest temp file",
+            checks, "memo manifest temp dropped at reopen",
+        )
+        live_names = {run.path.name for run in memo2._runs}
+        on_disk = {p.name for p in memo_dir.glob(f"*{RUN_SUFFIX}")}
+        _check(
+            on_disk == live_names,
+            f"{scenario.name}: orphan memo runs survived reopen "
+            f"({sorted(on_disk - live_names)})",
+            checks, "memo tier on durable manifest, orphans swept",
+        )
+
     tree2 = RUMTree(
         buffer2,
         inspection_ratio=0.0,
@@ -463,6 +623,7 @@ def _recover_and_verify(
         wal=wal,
         checkpoint_interval=10**9,
         attach=attach,
+        memo=memo2,
     )
 
     _check(
@@ -506,6 +667,19 @@ def _recover_and_verify(
             f"Option {scenario.option} recovery: {exc}"
         ) from exc
     checks.append("structural and memo invariants hold")
+
+    if memo2 is not None:
+        _check(
+            memo2.ram_size_bytes() <= memo_budget,
+            f"{scenario.name}: recovery blew the memo RAM budget "
+            f"({memo2.ram_size_bytes()} > {memo_budget} bytes)",
+            checks, "recovered memo within its RAM budget",
+        )
+        _check(
+            all(n_old >= 1 for _oid, _s, n_old in memo2.snapshot()),
+            f"{scenario.name}: recovered memo holds a drained entry",
+            checks, "every recovered memo entry counts >= 1 obsolete",
+        )
 
     live = _verify_recovered_state(
         scenario, tree2, oracle, ckpt_deleted, pending, checks
@@ -672,5 +846,46 @@ def default_scenarios() -> List[CrashScenario]:
         if option == "III":
             scenarios.append(
                 CrashScenario(option=option, point="wal.append", skip=8)
+            )
+        # Disk-tiered memo faults.  Option I carries the full grid (its
+        # recovery rebuilds the memo from a leaf scan, the worst case
+        # for stale spilled state); II/III spot-check that checkpoint /
+        # log replay also land correctly on a reopened spill tier.
+        # Corrupt-mode skips are 0 by design: the first damaged artifact
+        # must stay the *last* written so no later manifest rewrite
+        # heals it before detection (the workload stops on fire).
+        if option == "I":
+            scenarios.extend(
+                [
+                    CrashScenario(
+                        option=option, point="memo.run_flush", skip=1
+                    ),
+                    CrashScenario(
+                        option=option, point="memo.run_flush",
+                        mode="torn", skip=1,
+                    ),
+                    CrashScenario(
+                        option=option, point="memo.run_flush",
+                        mode="corrupt",
+                    ),
+                    CrashScenario(option=option, point="memo.compact"),
+                    CrashScenario(
+                        option=option, point="memo.compact", mode="corrupt"
+                    ),
+                    CrashScenario(
+                        option=option, point="memo.manifest", skip=1
+                    ),
+                    CrashScenario(
+                        option=option, point="memo.manifest",
+                        mode="corrupt",
+                    ),
+                ]
+            )
+        else:
+            scenarios.append(
+                CrashScenario(option=option, point="memo.run_flush", skip=2)
+            )
+            scenarios.append(
+                CrashScenario(option=option, point="memo.manifest")
             )
     return scenarios

@@ -22,7 +22,7 @@ from .fig10 import run_fig10
 from .fig11 import run_fig11
 from .fig12 import run_fig12, run_fig12_overall
 from .fig13 import run_fig13, run_fig13_overall
-from .fig14 import run_fig14, run_fig14_overall
+from .fig14 import run_fig14, run_fig14_memo, run_fig14_overall
 from .fig15 import run_fig15
 from .fig16 import run_fig16
 from .harness import (
@@ -49,6 +49,7 @@ __all__ = [
     "run_fig13",
     "run_fig13_overall",
     "run_fig14",
+    "run_fig14_memo",
     "run_fig14_overall",
     "run_fig15",
     "run_fig16",

@@ -53,6 +53,7 @@ from . import (
     run_fig13,
     run_fig13_overall,
     run_fig14,
+    run_fig14_memo,
     run_fig14_overall,
     run_fig15,
     run_fig16,
@@ -125,6 +126,27 @@ _register(
     (run_fig14, _series("num_objects_swept", "search_io")),
     (run_fig14, _series("num_objects_swept", "aux_bytes")),
     (run_fig14_overall, _series("ratio", "overall_io")),
+)
+_register(
+    "fig14memo",
+    "Figure 14(d) extended: disk-tiered memo scalability to 1M objects",
+    (
+        run_fig14_memo,
+        _plain(
+            [
+                "num_objects",
+                "memo_entries",
+                "memo_bytes",
+                "peak_ram_bytes",
+                "spill_budget",
+                "runs",
+                "spilled_pages",
+                "flush_writes",
+                "probe_pages_per_lookup",
+                "bloom_fp",
+            ]
+        ),
+    ),
 )
 _register(
     "fig15",

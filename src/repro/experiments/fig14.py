@@ -12,8 +12,12 @@ Update-Memo size grows linearly with the population because the garbage
 
 from __future__ import annotations
 
+import random
+import tempfile
 from typing import Sequence, Tuple
 
+from repro.core.memo_lsm import SpillingUpdateMemo
+from repro.storage.iostats import IOStats
 from repro.workload.objects import default_network_workload
 
 from .comparison import overall_comparison, sweep_comparison
@@ -21,6 +25,12 @@ from .harness import ExperimentResult, scaled
 
 DEFAULT_POPULATIONS = (2500, 5000, 10000, 20000)
 DEFAULT_RATIOS = ((1, 100), (1, 10), (1, 1), (10, 1), (100, 1), (10000, 1))
+
+#: Populations for the disk-tiered memo leg.  The paper's Figure 14 runs
+#: 2M-20M objects against a memo that must stay in RAM; the spilling
+#: memo removes that constraint, so this sweep extends one decade past
+#: the tree sweep up to one million objects (scaled by REPRO_BENCH_SCALE).
+MEMO_POPULATIONS = (10_000, 100_000, 1_000_000)
 
 
 def run_fig14(
@@ -76,4 +86,96 @@ def run_fig14_overall(
         factory,
         node_size=node_size,
         ops_factor=1.0,
+    )
+
+
+def run_fig14_memo(
+    populations: Sequence[int] = MEMO_POPULATIONS,
+    spill_budget: int = 64 * 1024,
+    compact_threshold: int = 4,
+    update_factor: float = 0.5,
+    probe_sample: int = 2000,
+    seed: int = 37,
+) -> ExperimentResult:
+    """Panel (d) extended: memo scalability with a *fixed* RAM budget.
+
+    Figure 14(d) shows the Update Memo growing linearly with the object
+    population — which caps how far the in-RAM memo scales.  This leg
+    reruns the memo half of the sweep against the LSM-tiered
+    :class:`~repro.core.memo_lsm.SpillingUpdateMemo`: every object gets
+    one update plus ``update_factor`` random re-updates, while RAM is
+    pinned at ``spill_budget`` bytes and overflow spills to sorted runs.
+    Reported per population: the logical memo size (still linear, as the
+    paper predicts), the *peak* RAM footprint (must stay under budget —
+    the run raises if it ever does not), the run-tier shape, and the
+    probe cost of ``latest_stamp`` over the spilled tier (pages per
+    probe, Bloom false-positive rate).
+    """
+    rows = []
+    for population in populations:
+        n = scaled(int(population))
+        rng = random.Random(seed)
+        stats = IOStats()
+        with tempfile.TemporaryDirectory(prefix="fig14memo-") as tmp:
+            memo = SpillingUpdateMemo(
+                tmp,
+                spill_budget=spill_budget,
+                compact_threshold=compact_threshold,
+                stats=stats,
+            )
+            stamp = 0
+            peak_ram = 0
+            for oid in range(n):
+                stamp += 1
+                memo.record_update(oid, stamp)
+                ram = memo.ram_size_bytes()
+                if ram > peak_ram:
+                    peak_ram = ram
+            for _ in range(int(n * update_factor)):
+                stamp += 1
+                memo.record_update(rng.randrange(n), stamp)
+                ram = memo.ram_size_bytes()
+                if ram > peak_ram:
+                    peak_ram = ram
+            if peak_ram > spill_budget:
+                raise RuntimeError(
+                    f"fig14memo: peak memo RAM {peak_ram} exceeded the "
+                    f"{spill_budget}-byte budget at {n} objects"
+                )
+            probes_before = memo.run_probe_count
+            reads_before = stats.memo_reads
+            hits = 0
+            for _ in range(probe_sample):
+                if memo.latest_stamp(rng.randrange(n)) is not None:
+                    hits += 1
+            # Misses exercise the Bloom filters: absent oids should be
+            # rejected by the in-RAM summaries, not by run page reads.
+            for miss in range(n, n + probe_sample):
+                memo.latest_stamp(miss)
+            probed_pages = memo.run_probe_count - probes_before
+            rows.append(
+                {
+                    "num_objects": n,
+                    "memo_entries": len(memo),
+                    "memo_bytes": memo.size_bytes(),
+                    "peak_ram_bytes": peak_ram,
+                    "spill_budget": spill_budget,
+                    "runs": len(memo._runs),
+                    "spilled_pages": sum(r.pages for r in memo._runs),
+                    "flush_writes": stats.memo_writes,
+                    "probe_pages_per_lookup": round(
+                        probed_pages / max(1, 2 * probe_sample), 3
+                    ),
+                    "bloom_fp": memo.bloom_fp_count,
+                    "probe_hits": hits,
+                }
+            )
+            memo.close()
+    return ExperimentResult(
+        experiment="Figure 14(d) extended",
+        description=(
+            "disk-tiered memo scalability: logical size grows linearly, "
+            f"RAM pinned at {spill_budget} bytes"
+        ),
+        rows=rows,
     )

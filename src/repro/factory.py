@@ -89,12 +89,20 @@ def build_rum_tree(
     recovery_option: Optional[str] = None,
     leaf_cache_pages: int = 0,
     obs: Optional["Observability"] = None,
+    memo_dir: Optional[str] = None,
+    memo_spill_budget: Optional[int] = None,
+    memo_compact_threshold: Optional[int] = None,
     **tree_kwargs,
 ) -> RUMTree:
     """A RUM-tree on a fresh storage stack (RUM leaf layout).
 
     A write-ahead log is attached automatically when ``recovery_option``
-    is ``"II"`` or ``"III"``.
+    is ``"II"`` or ``"III"``.  Passing ``memo_dir`` swaps the in-RAM
+    Update Memo for the LSM-tiered :class:`~repro.core.memo_lsm.
+    SpillingUpdateMemo` rooted at that directory (``memo_spill_budget``
+    bytes of RAM, ``memo_compact_threshold`` same-tier runs per merge),
+    sharing the stack's I/O counters so run traffic lands in
+    ``stats.memo_reads``/``memo_writes``.
     """
     buffer = build_storage(
         node_size, rum_leaves=True, leaf_cache_pages=leaf_cache_pages
@@ -102,6 +110,24 @@ def build_rum_tree(
     wal: Optional[WriteAheadLog] = None
     if recovery_option is not None and recovery_option != RECOVERY_NONE:
         wal = WriteAheadLog(node_size, buffer.stats)
+    if memo_dir is not None:
+        from repro.core.memo_lsm import SpillingUpdateMemo
+
+        memo_kwargs = {}
+        if memo_spill_budget is not None:
+            memo_kwargs["spill_budget"] = memo_spill_budget
+        if memo_compact_threshold is not None:
+            memo_kwargs["compact_threshold"] = memo_compact_threshold
+        tree_kwargs["memo"] = SpillingUpdateMemo(
+            memo_dir,
+            stats=buffer.stats,
+            **memo_kwargs,
+        )
+    elif memo_spill_budget is not None or memo_compact_threshold is not None:
+        raise ValueError(
+            "memo_spill_budget/memo_compact_threshold need memo_dir "
+            "(the disk-tiered memo must live somewhere)"
+        )
     tree = RUMTree(
         buffer,
         recovery_option=recovery_option,

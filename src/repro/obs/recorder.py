@@ -40,7 +40,7 @@ from repro.storage.iostats import IOSnapshot
 #: Schema tag stamped on every :meth:`FlightRecorder.dump`.
 SCHEMA = "flight_recorder/v1"
 
-#: Field order of the raw 8-tuple I/O deltas stored per record — matches
+#: Field order of the raw 10-tuple I/O deltas stored per record — matches
 #: the :class:`IOSnapshot` dataclass declaration order.
 IO_FIELDS: Tuple[str, ...] = (
     "leaf_reads",
@@ -51,6 +51,8 @@ IO_FIELDS: Tuple[str, ...] = (
     "index_writes",
     "log_writes",
     "log_reads",
+    "memo_reads",
+    "memo_writes",
 )
 
 #: Default ring capacity (operations retained).
@@ -62,7 +64,7 @@ DEFAULT_SLOW_MS = 10.0
 #: Default number of slowest operations retained beyond the ring.
 DEFAULT_SLOW_TOP_K = 16
 
-# (seq, op, tree, dur_s, io8, memo_lookups, memo_hits, served_by)
+# (seq, op, tree, dur_s, io10, memo_lookups, memo_hits, served_by)
 _Raw = Tuple[int, str, str, float, Tuple[int, ...], int, int, str]
 
 
@@ -114,13 +116,13 @@ class OpRecord:
 
 
 def _to_record(raw: _Raw) -> OpRecord:
-    seq, op, tree, dur_s, io8, lookups, hits, served = raw
+    seq, op, tree, dur_s, io10, lookups, hits, served = raw
     return OpRecord(
         seq=seq,
         op=op,
         tree=tree,
         duration_ms=dur_s * 1000.0,
-        io=IOSnapshot(*io8),
+        io=IOSnapshot(*io10),
         memo_lookups=lookups,
         memo_hits=hits,
         served_by=served,
@@ -180,7 +182,7 @@ class FlightRecorder:
         op: str,
         tree: str,
         dur_s: float,
-        io8: Tuple[int, ...],
+        io10: Tuple[int, ...],
         memo_lookups: int,
         memo_hits: int,
         served_by: str,
@@ -188,7 +190,7 @@ class FlightRecorder:
         """Append one operation record (cheap: tuple + ring append)."""
         seq = self._seq
         self._seq = seq + 1
-        raw: _Raw = (seq, op, tree, dur_s, io8, memo_lookups, memo_hits, served_by)
+        raw: _Raw = (seq, op, tree, dur_s, io10, memo_lookups, memo_hits, served_by)
         self._ring.append(raw)
         if dur_s >= self._slow_s and self.slow_top_k:
             slow = self._slow

@@ -301,6 +301,8 @@ class RTreeBase:
             s.index_writes,
             s.log_writes,
             s.log_reads,
+            s.memo_reads,
+            s.memo_writes,
             0 if m is None else m.lookup_count,
             0 if m is None else m.hit_count,
         )
@@ -318,7 +320,7 @@ class RTreeBase:
         """
         s = self.stats
         dur_s = time.perf_counter() - begin[0]
-        io8 = (
+        io10 = (
             s.leaf_reads - begin[1],
             s.leaf_writes - begin[2],
             s.internal_reads - begin[3],
@@ -327,6 +329,8 @@ class RTreeBase:
             s.index_writes - begin[6],
             s.log_writes - begin[7],
             s.log_reads - begin[8],
+            s.memo_reads - begin[9],
+            s.memo_writes - begin[10],
         )
         if counter is not None:
             counter.value += 1
@@ -334,7 +338,7 @@ class RTreeBase:
             # Inlined Histogram.observe — this runs once per update, and
             # the method-call overhead is measurable against the <2%
             # metrics-level budget enforced by bench_micro.
-            leaf_io = io8[0] + io8[1]
+            leaf_io = io10[0] + io10[1]
             histogram.counts[bisect_left(histogram.buckets, leaf_io)] += 1
             histogram.count += 1
             histogram.total += leaf_io
@@ -343,9 +347,9 @@ class RTreeBase:
             kind,
             self.name,
             dur_s,
-            io8,
-            0 if m is None else m.lookup_count - begin[9],
-            0 if m is None else m.hit_count - begin[10],
+            io10,
+            0 if m is None else m.lookup_count - begin[11],
+            0 if m is None else m.hit_count - begin[12],
             served,
         )
         if tracker is not None:
@@ -353,9 +357,10 @@ class RTreeBase:
                 tracker.observe_window(
                     window.xmax - window.xmin, window.ymax - window.ymin
                 )
-            # Counted I/O per the paper's model: leaf + index + log.
+            # Counted I/O per the paper's model: leaf + index + log + memo.
             tracker.observe(
-                io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+                io10[0] + io10[1] + io10[4] + io10[5] + io10[6] + io10[7]
+                + io10[8] + io10[9]
             )
 
     def _obs_query_end(self, begin, window) -> None:
@@ -373,7 +378,7 @@ class RTreeBase:
         """
         s = self.stats
         dur_s = time.perf_counter() - begin[0]
-        io8 = (
+        io10 = (
             s.leaf_reads - begin[1],
             s.leaf_writes - begin[2],
             s.internal_reads - begin[3],
@@ -382,11 +387,13 @@ class RTreeBase:
             s.index_writes - begin[6],
             s.log_writes - begin[7],
             s.log_reads - begin[8],
+            s.memo_reads - begin[9],
+            s.memo_writes - begin[10],
         )
         stride = self._obs_qstride
         self._obs_c_queries.value += stride
         hist = self._obs_h_query_io
-        leaf_io = io8[0] + io8[1]
+        leaf_io = io10[0] + io10[1]
         hist.counts[bisect_left(hist.buckets, leaf_io)] += 1
         hist.count += 1
         hist.total += leaf_io
@@ -395,9 +402,9 @@ class RTreeBase:
             "query",
             self.name,
             dur_s,
-            io8,
-            0 if m is None else m.lookup_count - begin[9],
-            0 if m is None else m.hit_count - begin[10],
+            io10,
+            0 if m is None else m.lookup_count - begin[11],
+            0 if m is None else m.hit_count - begin[12],
             "mirror" if self._served_by_mirror else "traversal",
         )
         tracker = self._obs_drift_query
@@ -405,7 +412,8 @@ class RTreeBase:
             window.xmax - window.xmin, window.ymax - window.ymin
         )
         tracker.observe(
-            io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+            io10[0] + io10[1] + io10[4] + io10[5] + io10[6] + io10[7]
+            + io10[8] + io10[9]
         )
         if self.obs.tracing:
             return
@@ -425,7 +433,7 @@ class RTreeBase:
         every operation — both are pure I/O accounting that needs no
         clock and touches three small hot objects, so the per-op cost is
         a few hundred nanoseconds.  What the unsampled path skips is the
-        expensive capture: ``perf_counter`` calls, the 8-field I/O
+        expensive capture: ``perf_counter`` calls, the 10-field I/O
         delta, the flight-recorder record, and the drift EWMA feed,
         whose working set is large enough that paying it every update
         breaks the <2% metrics-level budget (``bench_micro`` A/B).
@@ -455,7 +463,7 @@ class RTreeBase:
         """
         s = self.stats
         dur_s = time.perf_counter() - begin[0]
-        io8 = (
+        io10 = (
             s.leaf_reads - begin[1],
             s.leaf_writes - begin[2],
             s.internal_reads - begin[3],
@@ -464,10 +472,12 @@ class RTreeBase:
             s.index_writes - begin[6],
             s.log_writes - begin[7],
             s.log_reads - begin[8],
+            s.memo_reads - begin[9],
+            s.memo_writes - begin[10],
         )
         self._obs_c_updates.value += 1
         hist = self._obs_h_update_io
-        leaf_io = io8[0] + io8[1]
+        leaf_io = io10[0] + io10[1]
         hist.counts[bisect_left(hist.buckets, leaf_io)] += 1
         hist.count += 1
         hist.total += leaf_io
@@ -476,15 +486,16 @@ class RTreeBase:
             "update",
             self.name,
             dur_s,
-            io8,
-            0 if m is None else m.lookup_count - begin[9],
-            0 if m is None else m.hit_count - begin[10],
+            io10,
+            0 if m is None else m.lookup_count - begin[11],
+            0 if m is None else m.hit_count - begin[12],
             "-",
         )
         tracker = self._obs_drift_update
         if tracker is not None:
             tracker.observe(
-                io8[0] + io8[1] + io8[4] + io8[5] + io8[6] + io8[7]
+                io10[0] + io10[1] + io10[4] + io10[5] + io10[6] + io10[7]
+                + io10[8] + io10[9]
             )
         stride = self._obs_ustride
         if self.obs.tracing:

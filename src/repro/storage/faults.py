@@ -41,6 +41,13 @@ The registered fault points:
                         forced flush makes it durable
 ``wal.checkpoint``      at the start of a checkpoint append (the checkpoint
                         record never becomes durable)
+``memo.run_flush``      mid memo-run flush: the run file is (partially)
+                        written but not yet named by the manifest — torn /
+                        corrupt modes damage the run image itself
+``memo.compact``        after a compaction wrote its output run, before the
+                        manifest swaps it in (inputs must stay live)
+``memo.manifest``       after the manifest temp file is written, before the
+                        atomic rename — the previous manifest must survive
 ======================  ====================================================
 """
 
@@ -65,6 +72,9 @@ FAULT_POINTS = (
     "wal.append",
     "wal.force",
     "wal.checkpoint",
+    "memo.run_flush",
+    "memo.compact",
+    "memo.manifest",
 )
 
 #: Fault modes: ``crash`` loses the action, ``torn`` persists a prefix of

@@ -37,6 +37,8 @@ class IOSnapshot:
     index_writes: int = 0
     log_writes: int = 0
     log_reads: int = 0
+    memo_reads: int = 0
+    memo_writes: int = 0
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -70,15 +72,29 @@ class IOSnapshot:
         return self.log_writes + self.log_reads
 
     @property
+    def memo_total(self) -> int:
+        """Disk-resident Update-Memo run accesses (spilled memo only).
+
+        Zero for the paper's pure in-RAM memo; the LSM-tiered memo
+        (:mod:`repro.core.memo_lsm`) charges its run flushes, probes,
+        compactions and manifest writes here.
+        """
+        return self.memo_reads + self.memo_writes
+
+    @property
     def counted_total(self) -> int:
         """Everything the paper charges an update/query with.
 
         Leaf accesses plus the auxiliary structures that the respective
-        approach pays for: the FUR-tree's secondary index and the RUM-tree's
-        log traffic.  Internal-node accesses are excluded, matching the
+        approach pays for: the FUR-tree's secondary index, the RUM-tree's
+        log traffic, and — when the Update Memo is spilled to disk — its
+        run I/O.  Internal-node accesses are excluded, matching the
         "internal nodes are cached" assumption of Section 4.
         """
-        return self.leaf_total + self.index_total + self.log_total
+        return (
+            self.leaf_total + self.index_total + self.log_total
+            + self.memo_total
+        )
 
     @property
     def grand_total(self) -> int:
@@ -114,6 +130,8 @@ class IOStats:
         "index_writes",
         "log_writes",
         "log_reads",
+        "memo_reads",
+        "memo_writes",
     )
 
     leaf_reads: int
@@ -124,6 +142,8 @@ class IOStats:
     index_writes: int
     log_writes: int
     log_reads: int
+    memo_reads: int
+    memo_writes: int
 
     def __init__(self) -> None:
         self.reset()
@@ -138,6 +158,8 @@ class IOStats:
         self.index_writes = 0
         self.log_writes = 0
         self.log_reads = 0
+        self.memo_reads = 0
+        self.memo_writes = 0
 
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
@@ -150,6 +172,8 @@ class IOStats:
             index_writes=self.index_writes,
             log_writes=self.log_writes,
             log_reads=self.log_reads,
+            memo_reads=self.memo_reads,
+            memo_writes=self.memo_writes,
         )
 
     # -- recording helpers -------------------------------------------------

@@ -51,8 +51,10 @@ class TestTotals:
         assert snap.leaf_total == snap.leaf_reads + snap.leaf_writes
         assert snap.index_total == snap.index_reads + snap.index_writes
         assert snap.log_total == snap.log_reads + snap.log_writes
+        assert snap.memo_total == snap.memo_reads + snap.memo_writes
         assert snap.counted_total == (
             snap.leaf_total + snap.index_total + snap.log_total
+            + snap.memo_total
         )
         assert snap.grand_total == (
             snap.counted_total + snap.internal_reads + snap.internal_writes
@@ -92,3 +94,25 @@ class TestIOStats:
         assert text.startswith("IOStats(leaf_reads=1, ")
         assert "IOSnapshot" not in text
         assert all(name in text for name in FIELD_NAMES)
+
+class TestMemoFieldsWiring:
+    def test_recorder_io_fields_cover_memo(self):
+        """The flight recorder's per-op I/O tuple must carry the memo
+        tier: IO_FIELDS and IOSnapshot agree field-for-field."""
+        from repro.obs.recorder import IO_FIELDS
+
+        assert "memo_reads" in IO_FIELDS and "memo_writes" in IO_FIELDS
+        assert len(IO_FIELDS) == 10
+        # Positional construction from an IO_FIELDS-ordered tuple must
+        # land every value on the right field.
+        snap = IOSnapshot(*range(len(IO_FIELDS)))
+        for i, name in enumerate(IO_FIELDS):
+            assert getattr(snap, name) == i
+
+    def test_stats_reset_clears_memo_counters(self):
+        stats = IOStats()
+        stats.memo_reads += 3
+        stats.memo_writes += 2
+        assert stats.snapshot().memo_total == 5
+        stats.reset()
+        assert stats.snapshot() == IOSnapshot()

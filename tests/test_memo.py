@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.memo import LATEST, OBSOLETE, UpdateMemo
 from repro.core.stamp import StampCounter
+from repro.obs import Observability
 from repro.storage.wal import UM_ENTRY_BYTES
 
 
@@ -96,6 +97,21 @@ class TestUpdateMemoBasics:
         with pytest.raises(KeyError):
             memo.note_cleaned(7)
 
+    def test_note_cleaned_counter_not_bumped_on_missing_entry(self):
+        """Regression: ``memo.cleaned`` used to increment *before* the
+        entry-existence check, so a rejected clean (KeyError) still moved
+        the counter and it no longer reconciled against the cleaner's
+        actual removal count."""
+        obs = Observability(level="metrics")
+        memo = UpdateMemo()
+        memo.attach_obs(obs)
+        memo.record_update(1, 10)
+        memo.note_cleaned(1)
+        with pytest.raises(KeyError):
+            memo.note_cleaned(99)  # no entry: must not count
+        snap = obs.registry.snapshot()
+        assert snap.counters["memo.cleaned"] == 1
+
     def test_no_entry_with_zero_n_old_exists(self):
         """Invariant from Section 3.1: "no UM entry has N_old equivalent
         to zero"."""
@@ -143,6 +159,53 @@ class TestSnapshotRestore:
         memo.restore(iter([(2, 5, 1)]))
         assert memo.get(1) is None
         assert memo.get(2).s_latest == 5
+
+    def test_restore_drops_nonpositive_counts(self):
+        """Regression: restore used to accept ``n_old <= 0`` entries.
+        ``note_cleaned`` deletes at zero and never goes below, and
+        ``purge_phantoms`` spares any entry with a recent stamp — so a
+        restored zero-count entry could never drain and leaked forever.
+        "No obsolete entries" must round-trip as *absence* (Section 3.1).
+        """
+        memo = UpdateMemo()
+        memo.restore(iter([(1, 5, 0), (2, 6, -3), (3, 7, 2)]))
+        assert memo.get(1) is None
+        assert memo.get(2) is None
+        assert memo.get(3).n_old == 2
+        assert len(memo) == 1
+        # The invariant the leak violated: every entry counts >= 1.
+        assert all(entry.n_old >= 1 for entry in memo)
+
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=-3, max_value=5),
+            ),
+            max_size=60,
+            unique_by=lambda e: e[0],
+        ),
+        src_buckets=st.integers(min_value=1, max_value=17),
+        dst_buckets=st.integers(min_value=1, max_value=17),
+    )
+    def test_snapshot_restore_roundtrip_across_bucket_counts(
+        self, entries, src_buckets, dst_buckets
+    ):
+        """snapshot() -> restore() preserves exactly the valid entries,
+        whatever the bucket counts on either side; a second round-trip
+        is the identity."""
+        memo = UpdateMemo(n_buckets=src_buckets)
+        memo.restore(iter(entries))
+        expected = sorted(e for e in entries if e[2] > 0)
+        assert sorted(memo.snapshot()) == expected
+
+        other = UpdateMemo(n_buckets=dst_buckets)
+        other.restore(iter(memo.snapshot()))
+        assert sorted(other.snapshot()) == expected
+        for oid, s_latest, n_old in expected:
+            entry = other.get(oid)
+            assert entry.s_latest == s_latest and entry.n_old == n_old
 
 
 class TestSizeMetrics:

@@ -1,0 +1,433 @@
+"""Tests for the LSM-tiered disk-resident Update Memo.
+
+Covers the run file format (CRC, fences, Bloom filters), the spill /
+probe / compact lifecycle, manifest crash safety under fault injection,
+and — the core contract — behavioural equivalence with the pure in-RAM
+:class:`~repro.core.memo.UpdateMemo` under arbitrary operation
+interleavings, including across a close/reopen cycle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memo import LATEST, OBSOLETE, UpdateMemo
+from repro.core.memo_lsm import (
+    MANIFEST_FILE,
+    MANIFEST_TMP_FILE,
+    RUN_SUFFIX,
+    MemoCorruptionError,
+    SpillingUpdateMemo,
+    _Run,
+)
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.iostats import IOStats
+from repro.storage.wal import UM_ENTRY_BYTES
+
+
+def tiny_memo(tmp_path, budget_entries=4, threshold=2, **kwargs):
+    """A spilling memo whose RAM tier holds ``budget_entries`` entries."""
+    return SpillingUpdateMemo(
+        tmp_path,
+        spill_budget=budget_entries * UM_ENTRY_BYTES,
+        compact_threshold=threshold,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_budget_and_threshold(self, tmp_path):
+        with pytest.raises(ValueError):
+            SpillingUpdateMemo(tmp_path, spill_budget=0)
+        with pytest.raises(ValueError):
+            SpillingUpdateMemo(tmp_path, compact_threshold=1)
+
+    def test_empty_directory_starts_empty(self, tmp_path):
+        memo = tiny_memo(tmp_path)
+        assert len(memo) == 0
+        assert memo._runs == []
+        memo.close()
+
+
+class TestSpillAndProbe:
+    def test_budget_forces_runs_and_bounds_ram(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=4)
+        for oid in range(40):
+            memo.record_update(oid, oid + 1)
+            assert memo.ram_size_bytes() <= 4 * UM_ENTRY_BYTES
+        assert len(memo._runs) >= 1
+        assert (tmp_path / MANIFEST_FILE).exists()
+        memo.close()
+
+    def test_probes_agree_across_tiers(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=4)
+        for oid in range(30):
+            memo.record_update(oid, oid + 1)
+        for oid in range(30):
+            assert memo.latest_stamp(oid) == oid + 1
+            assert memo.check_status(oid, oid + 1) == LATEST
+            assert memo.check_status(oid, 0) == OBSOLETE
+            entry = memo.get(oid)
+            assert entry.s_latest == oid + 1 and entry.n_old == 1
+        assert memo.latest_stamp(999) is None
+        memo.close()
+
+    def test_n_old_aggregates_deltas_across_runs(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        for stamp in range(1, 8):
+            memo.record_update(5, stamp)
+            memo.record_update(100 + stamp, stamp)  # filler forcing spills
+        assert len(memo._runs) >= 2
+        assert memo.get(5).n_old == 7
+        assert memo.get(5).s_latest == 7
+        memo.close()
+
+    def test_note_cleaned_drains_through_tombstone(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        memo.record_update(1, 10)
+        memo.flush_ram()
+        assert memo._runs  # the record now lives on disk
+        memo.note_cleaned(1)
+        assert memo.get(1) is None  # tombstone masks the spilled record
+        assert memo.latest_stamp(1) is None
+        with pytest.raises(KeyError):
+            memo.note_cleaned(1)
+        memo.close()
+
+    def test_purge_phantoms_reaches_spilled_entries(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        for oid in range(10):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        purged = memo.purge_phantoms(6, exclude={2})
+        assert purged == 4  # oids 0,1,3,4 (2 shielded, 5..9 recent)
+        assert memo.get(0) is None
+        assert memo.get(2).s_latest == 3
+        assert memo.get(7).s_latest == 8
+        memo.close()
+
+    def test_miss_probe_rejected_by_bloom_without_io(self, tmp_path):
+        stats = IOStats()
+        memo = tiny_memo(tmp_path, budget_entries=4, stats=stats)
+        for oid in range(0, 64, 2):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        reads_before = stats.memo_reads
+        # Far outside every run's oid range: fence check alone rejects.
+        assert memo.latest_stamp(10_000) is None
+        assert stats.memo_reads == reads_before
+        memo.close()
+
+
+class TestRunFormat:
+    def test_load_roundtrip(self, tmp_path):
+        records = [(oid, oid * 7 + 1, 1, 0) for oid in range(500)]
+        path = tmp_path / f"run-x{RUN_SUFFIX}"
+        path.write_bytes(_Run.encode(records))
+        run = _Run.load(path)
+        assert run.count == 500
+        assert list(run.iter_records()) == records
+        for oid in (0, 170, 171, 499):
+            assert run.probe_page(oid) == (oid, oid * 7 + 1, 1, 0)
+        assert run.probe_page(1_000) is None
+        run.close()
+
+    @pytest.mark.parametrize("offset_frac", [0.0, 0.3, 0.6, 0.999])
+    def test_any_bitflip_fails_crc(self, tmp_path, offset_frac):
+        records = [(oid, oid + 1, 1, 0) for oid in range(300)]
+        data = bytearray(_Run.encode(records))
+        pos = min(int(len(data) * offset_frac), len(data) - 1)
+        data[pos] ^= 0x01
+        path = tmp_path / f"run-y{RUN_SUFFIX}"
+        path.write_bytes(bytes(data))
+        with pytest.raises(MemoCorruptionError):
+            _Run.load(path)
+
+
+class TestCompaction:
+    def test_compaction_bounds_run_count(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=2)
+        for stamp in range(1, 200):
+            memo.record_update(stamp % 17, stamp)
+        # Size-tiering with threshold 2 keeps at most one run per tier.
+        assert len(memo._runs) <= 8
+        for oid in range(17):
+            assert memo.get(oid) is not None
+        memo.close()
+
+    def test_oldest_merge_drops_tombstones(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        memo.record_update(1, 1)
+        memo.record_update(2, 2)
+        memo.flush_ram()
+        memo.note_cleaned(1)  # tombstone over the spilled record
+        memo.flush_ram()
+        assert len(memo._runs) == 2
+        memo._compact(0, len(memo._runs))
+        assert len(memo._runs) == 1
+        # The tombstone and its victim are both gone from the merged run.
+        assert all(
+            rec[0] != 1 for rec in memo._runs[0].iter_records()
+        )
+        assert memo.get(1) is None
+        assert memo.get(2).s_latest == 2
+        memo.close()
+
+
+class TestReopen:
+    def test_reopen_preserves_spilled_state(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=4)
+        for oid in range(30):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()  # push the RAM remainder down before "crash"
+        expected = sorted(memo.snapshot())
+        memo.close()
+        memo2 = tiny_memo(tmp_path, budget_entries=4)
+        assert sorted(memo2.snapshot()) == expected
+        memo2.close()
+
+    def test_reopen_sweeps_unnamed_runs(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=4)
+        for oid in range(20):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        memo.close()
+        orphan = tmp_path / f"run-99999999{RUN_SUFFIX}"
+        orphan.write_bytes(b"partial garbage never named by the manifest")
+        (tmp_path / MANIFEST_TMP_FILE).write_bytes(b"torn manifest temp")
+        memo2 = tiny_memo(tmp_path, budget_entries=4)
+        assert not orphan.exists()
+        assert not (tmp_path / MANIFEST_TMP_FILE).exists()
+        memo2.close()
+
+    def test_corrupt_manifest_detected(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2)
+        for oid in range(10):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        memo.close()
+        manifest = tmp_path / MANIFEST_FILE
+        manifest.write_bytes(manifest.read_bytes()[:-5] + b"XXXXX")
+        with pytest.raises(MemoCorruptionError):
+            tiny_memo(tmp_path, budget_entries=2)
+
+    def test_corrupt_named_run_detected(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        for oid in range(10):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        run_path = memo._runs[0].path
+        memo.close()
+        data = bytearray(run_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        run_path.write_bytes(bytes(data))
+        with pytest.raises(MemoCorruptionError):
+            tiny_memo(tmp_path, budget_entries=2, threshold=99)
+
+
+class TestFaultInjection:
+    def _filled(self, tmp_path, injector, threshold=99):
+        memo = tiny_memo(
+            tmp_path, budget_entries=2, threshold=threshold, faults=injector
+        )
+        for oid in range(8):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        return memo
+
+    def test_crash_at_run_flush_loses_only_ram(self, tmp_path):
+        injector = FaultInjector()
+        memo = self._filled(tmp_path, injector)
+        durable = sorted(memo.snapshot())
+        injector.arm("memo.run_flush")
+        memo.record_update(100, 50)
+        with pytest.raises(SimulatedCrash):
+            memo.flush_ram()
+        memo2 = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        assert sorted(memo2.snapshot()) == durable  # oid 100 died in RAM
+        memo2.close()
+
+    def test_torn_run_flush_is_swept_orphan(self, tmp_path):
+        injector = FaultInjector()
+        memo = self._filled(tmp_path, injector)
+        durable = sorted(memo.snapshot())
+        n_runs = len(memo._runs)
+        injector.arm("memo.run_flush", mode="torn")
+        memo.record_update(100, 50)
+        with pytest.raises(SimulatedCrash):
+            memo.flush_ram()
+        # The torn image exists but the manifest never named it.
+        assert len(list(tmp_path.glob(f"*{RUN_SUFFIX}"))) == n_runs + 1
+        memo2 = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        assert len(memo2._runs) == n_runs
+        assert len(list(tmp_path.glob(f"*{RUN_SUFFIX}"))) == n_runs
+        assert sorted(memo2.snapshot()) == durable
+        memo2.close()
+
+    def test_crash_at_manifest_keeps_previous(self, tmp_path):
+        injector = FaultInjector()
+        memo = self._filled(tmp_path, injector)
+        durable = sorted(memo.snapshot())
+        injector.arm("memo.manifest")
+        memo.record_update(100, 50)
+        with pytest.raises(SimulatedCrash):
+            memo.flush_ram()
+        assert (tmp_path / MANIFEST_TMP_FILE).exists()
+        memo2 = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        assert sorted(memo2.snapshot()) == durable
+        memo2.close()
+
+    def test_crash_at_compact_keeps_inputs_live(self, tmp_path):
+        injector = FaultInjector()
+        memo = self._filled(tmp_path, injector, threshold=2)
+        durable = sorted(memo.snapshot())
+        injector.arm("memo.compact")
+        with pytest.raises(SimulatedCrash):
+            # Two same-tier runs exist after this flush: compaction runs
+            # and dies after writing its output, before the manifest swap.
+            memo.record_update(100, 50)
+            memo.record_update(101, 51)
+            memo.record_update(102, 52)
+            memo.flush_ram()
+        assert injector.fired == "memo.compact"
+        memo2 = tiny_memo(tmp_path, budget_entries=2, threshold=99)
+        merged = {oid: (s, n) for oid, s, n in memo2.snapshot()}
+        for oid, s, n in durable:
+            assert merged[oid] == (s, n)
+        memo2.close()
+
+    def test_corrupt_run_flush_detected_at_reopen(self, tmp_path):
+        injector = FaultInjector()
+        memo = tiny_memo(
+            tmp_path, budget_entries=2, threshold=99, faults=injector
+        )
+        injector.arm("memo.run_flush", mode="corrupt")
+        for oid in range(8):
+            memo.record_update(oid, oid + 1)
+        memo.flush_ram()
+        memo.close()
+        with pytest.raises(MemoCorruptionError):
+            tiny_memo(tmp_path, budget_entries=2, threshold=99)
+
+
+class TestAccounting:
+    def test_run_io_charged_to_stats(self, tmp_path):
+        stats = IOStats()
+        memo = tiny_memo(tmp_path, budget_entries=2, stats=stats)
+        for oid in range(20):
+            memo.record_update(oid, oid + 1)
+        assert stats.memo_writes > 0
+        before = stats.memo_reads
+        for oid in range(20):
+            memo.latest_stamp(oid)
+        assert stats.memo_reads > before
+        assert stats.snapshot().memo_total > 0
+        memo.close()
+
+    def test_defer_spills_one_run_per_scope(self, tmp_path):
+        memo = tiny_memo(tmp_path, budget_entries=2)
+        with memo.defer_spills():
+            for oid in range(50):
+                memo.record_update(oid, oid + 1)
+            runs_inside = len(memo._runs)
+        assert runs_inside == 0  # nothing spilled mid-scope
+        assert len(memo._runs) == 1  # exactly one run at scope exit
+        memo.close()
+
+
+# ---------------------------------------------------------------------------
+# Behavioural equivalence with the in-RAM memo
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["update", "clean", "purge", "probe"]),
+        st.integers(min_value=0, max_value=24),
+    ),
+    max_size=150,
+)
+
+
+class TestDifferentialEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_OPS, budget_entries=st.integers(min_value=1, max_value=6))
+    def test_spill_probe_compact_recover_equivalence(
+        self, tmp_path_factory, ops, budget_entries
+    ):
+        """Any interleaving of the paper's memo operations produces
+        bit-identical behaviour on the spilling memo and the in-RAM
+        memo — including CheckStatus on every (oid, stamp) pair seen,
+        the full snapshot, and the state after a close/reopen cycle."""
+        tmp = tmp_path_factory.mktemp("memolsm")
+        spill = SpillingUpdateMemo(
+            tmp,
+            spill_budget=budget_entries * UM_ENTRY_BYTES,
+            compact_threshold=2,
+        )
+        ram = UpdateMemo()
+        stamp = 0
+        for kind, oid in ops:
+            if kind == "update":
+                stamp += 1
+                spill.record_update(oid, stamp)
+                ram.record_update(oid, stamp)
+            elif kind == "clean":
+                entry = ram.get(oid)
+                if entry is not None:
+                    spill.note_cleaned(oid)
+                    ram.note_cleaned(oid)
+            elif kind == "purge":
+                threshold = max(0, stamp - 5)
+                assert spill.purge_phantoms(threshold) == ram.purge_phantoms(
+                    threshold
+                )
+            else:
+                assert spill.latest_stamp(oid) == ram.latest_stamp(oid)
+                assert spill.check_status(oid, stamp) == ram.check_status(
+                    oid, stamp
+                )
+        assert sorted(spill.snapshot()) == sorted(ram.snapshot())
+        assert len(spill) == len(ram)
+        assert spill.total_n_old() == ram.total_n_old()
+        assert spill.size_bytes() == ram.size_bytes()
+        for oid in range(25):
+            assert spill.latest_stamp(oid) == ram.latest_stamp(oid)
+            a, b = spill.get(oid), ram.get(oid)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.s_latest, a.n_old) == (b.s_latest, b.n_old)
+        # Crash model: RAM dies, spilled runs survive.  Push RAM down
+        # first so the reopened memo must equal the full state.
+        spill.flush_ram()
+        spill.close()
+        reopened = SpillingUpdateMemo(
+            tmp,
+            spill_budget=budget_entries * UM_ENTRY_BYTES,
+            compact_threshold=2,
+        )
+        assert sorted(reopened.snapshot()) == sorted(ram.snapshot())
+        reopened.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=1, max_value=10**6),
+                st.integers(min_value=-2, max_value=4),
+            ),
+            max_size=40,
+            unique_by=lambda e: e[0],
+        )
+    )
+    def test_restore_matches_in_ram_memo(self, tmp_path_factory, entries):
+        tmp = tmp_path_factory.mktemp("memolsm-restore")
+        spill = SpillingUpdateMemo(
+            tmp, spill_budget=3 * UM_ENTRY_BYTES, compact_threshold=2
+        )
+        ram = UpdateMemo()
+        spill.restore(iter(entries))
+        ram.restore(iter(entries))
+        assert sorted(spill.snapshot()) == sorted(ram.snapshot())
+        assert spill.ram_size_bytes() <= 3 * UM_ENTRY_BYTES
+        spill.close()

@@ -256,3 +256,46 @@ class TestOptionIIDeleteSemantics:
         tree.crash()
         recover_option_ii(tree)
         assert tree.search(Rect(0, 0, 1, 1)) == []
+
+
+class TestRestoreLeakRegression:
+    """Regression for the ``restore`` zero-count leak across all three
+    recovery options: a checkpoint snapshot (or intermediate table) that
+    carries an ``n_old <= 0`` entry must not plant an undrainable memo
+    entry in the recovered tree."""
+
+    @staticmethod
+    def _poison_snapshot(tree):
+        real = tree.memo.snapshot
+
+        def poisoned():
+            return real() + [(999_999, 10**9, 0), (888_888, 10**9, -2)]
+
+        tree.memo.snapshot = poisoned
+
+    def _assert_clean(self, tree):
+        assert tree.memo.get(999_999) is None
+        assert tree.memo.get(888_888) is None
+        assert all(entry.n_old >= 1 for entry in tree.memo)
+
+    def test_option_i_never_emits_drained_entries(self):
+        tree, _positions = _loaded_tree(None)
+        tree.crash()
+        recover_option_i(tree)
+        self._assert_clean(tree)
+
+    def test_option_ii_drops_poisoned_checkpoint_entries(self):
+        tree, _positions = _loaded_tree("II", checkpoint_interval=10**9)
+        self._poison_snapshot(tree)
+        tree.write_checkpoint()
+        tree.crash()
+        recover_option_ii(tree)
+        self._assert_clean(tree)
+
+    def test_option_iii_drops_poisoned_checkpoint_entries(self):
+        tree, _positions = _loaded_tree("III", checkpoint_interval=10**9)
+        self._poison_snapshot(tree)
+        tree.write_checkpoint()
+        tree.crash()
+        recover_option_iii(tree)
+        self._assert_clean(tree)
