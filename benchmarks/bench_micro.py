@@ -35,7 +35,7 @@ import random
 import sys
 import tempfile
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 if __name__ == "__main__":  # allow running without an installed package
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
@@ -43,6 +43,7 @@ if __name__ == "__main__":  # allow running without an installed package
 from repro import kernels
 from repro.core.memo import UpdateMemo
 from repro.core.memo_lsm import SpillingUpdateMemo
+from repro.concurrency.racecheck import RaceChecker
 from repro.obs import Observability
 from repro.experiments.harness import (
     bench_scale,
@@ -332,25 +333,33 @@ AB_LEGS = (
 )
 
 
-def _obs_ab_pass(n: int, n_queries: int, build_rot: int = 0) -> tuple:
+def _ab_pass(
+    factories: Sequence[Callable[[], object]],
+    n: int,
+    n_queries: int,
+    build_rot: int = 0,
+) -> tuple:
     """One full paired pass: fresh trees, chunk-interleaved update then
     query phases.  Returns per-leg ``(update_times, query_times)``.
 
-    ``build_rot`` rotates the order the legs' trees are *built* in.
-    Build order shapes heap layout (later trees land in a larger, more
-    fragmented heap and see slightly worse locality), which shows up as
-    a systematic ~2-4% bias against later-built legs that execution-order
-    rotation cannot cancel.  Rotating build position across passes gives
-    every leg one pass in each position, and the per-leg min over passes
-    compares the legs at their common best layout.
+    ``factories`` build one tree per leg (the legs differ only in what
+    is attached to the tree); each gets its own copy of the same
+    deterministic workload.  ``build_rot`` rotates the order the legs'
+    trees are *built* in.  Build order shapes heap layout (later trees
+    land in a larger, more fragmented heap and see slightly worse
+    locality), which shows up as a systematic ~2-4% bias against
+    later-built legs that execution-order rotation cannot cancel.
+    Rotating build position across passes gives every leg one pass in
+    each position, and the per-leg min over passes compares the legs at
+    their common best layout.
     """
-    n_legs = len(AB_LEGS)
+    n_legs = len(factories)
     trees: list = [None] * n_legs
     streams: list = [None] * n_legs
     for j in range(n_legs):
         i = (build_rot + j) % n_legs
         workload = default_network_workload(n, moving_distance=0.01, seed=11)
-        tree = make_tree("rum_touch", node_size=2048, obs=AB_LEGS[i][1]())
+        tree = factories[i]()
         load_tree(tree, workload.initial())
         trees[i] = tree
         streams[i] = iter(workload.updates(n))
@@ -431,32 +440,100 @@ def bench_obs_ab(metrics: Dict) -> None:
     * **Min-of-passes with rotated build order** — the whole paired
       pass repeats ``AB_PASSES`` times on fresh trees, each pass
       building the legs' trees in a rotated order (see
-      :func:`_obs_ab_pass`), and each leg keeps its *minimum* total.
+      :func:`_ab_pass`), and each leg keeps its *minimum* total.
       Host-steal episodes span many consecutive slices, so a stolen
       pass inflates one leg's sum more than another's; the minimum
       discards those passes, cancels the build-position bias, and
       converges on the undisturbed cost.
     """
+    factories = [
+        (lambda make=make_obs: make_tree("rum_touch", node_size=2048, obs=make()))
+        for _, make_obs in AB_LEGS
+    ]
+    _ab_run([suffix for suffix, _ in AB_LEGS], factories, metrics)
+
+
+def _ab_run(
+    suffixes: Sequence[str],
+    factories: Sequence[Callable[[], object]],
+    metrics: Dict,
+) -> None:
+    """Min-of-passes paired A/B over ``factories``; records each leg's
+    update/query throughput under ``end_to_end.update{suffix}`` /
+    ``end_to_end.query{suffix}``."""
     n = scaled(2000)
     n_queries = scaled(2000)
-    n_legs = len(AB_LEGS)
+    n_legs = len(factories)
     best_u = [float("inf")] * n_legs
     best_q = [float("inf")] * n_legs
     for p in range(AB_PASSES):
-        utimes, qtimes = _obs_ab_pass(n, n_queries, build_rot=p % n_legs)
+        utimes, qtimes = _ab_pass(factories, n, n_queries, build_rot=p % n_legs)
         for i in range(n_legs):
             best_u[i] = min(best_u[i], utimes[i])
             best_q[i] = min(best_q[i], qtimes[i])
-    for (suffix, _), t in zip(AB_LEGS, best_u):
+    for suffix, t in zip(suffixes, best_u):
         metrics[f"end_to_end.update{suffix}"] = {
             "ops_per_sec": n / t if t > 0 else float("inf"),
             "iterations": n,
         }
-    for (suffix, _), t in zip(AB_LEGS, best_q):
+    for suffix, t in zip(suffixes, best_q):
         metrics[f"end_to_end.query{suffix}"] = {
             "ops_per_sec": n_queries / t if t > 0 else float("inf"),
             "iterations": n_queries,
         }
+
+
+def _racecheck_attach_detach(tree) -> None:
+    """Attach the race detector, then detach it again.
+
+    The resulting tree is *supposed* to be indistinguishable from one
+    that never saw a checker — every probe is an attribute load plus a
+    ``None`` check.  Benchmarking this leg against the plain one pins
+    that contract: if a future change makes detach leave a stub object
+    behind (turning the probes into real dispatches), the measured
+    "detector off" overhead stops reading ~0% and the A/B exposes it.
+    """
+    tree.attach_racecheck(RaceChecker())
+    tree.attach_racecheck(None)
+
+
+def bench_racecheck_ab(metrics: Dict) -> None:
+    """Paired end-to-end A/B of the Eraser race detector.
+
+    Same chunk-interleaved, min-of-passes machinery as
+    :func:`bench_obs_ab`, with three legs:
+
+    * ``""`` — plain tree, never attached (the shipped default);
+    * ``"_racecheck_off"`` — attached then detached (must match the
+      plain leg, see :func:`_racecheck_attach_detach`);
+    * ``"_racecheck"`` — a live :class:`RaceChecker` cascaded across
+      the tree, buffer pool, memo and stamp counter.
+
+    The run is single-threaded, so the active leg measures the per-probe
+    bookkeeping cost (lockset/epoch updates under the checker's mutex),
+    not contention; the threaded suites exercise the detection side.
+    The checker is attached directly rather than via global activation
+    so the other legs' trees keep plain (untracked) locks.
+    """
+
+    def plain():
+        return make_tree("rum_touch", node_size=2048)
+
+    def attach_detach():
+        tree = make_tree("rum_touch", node_size=2048)
+        _racecheck_attach_detach(tree)
+        return tree
+
+    def active():
+        tree = make_tree("rum_touch", node_size=2048)
+        tree.attach_racecheck(RaceChecker())
+        return tree
+
+    _ab_run(
+        ("", "_racecheck_off", "_racecheck"),
+        (plain, attach_detach, active),
+        metrics,
+    )
 
 
 def bench_batch(metrics: Dict, obs=None) -> None:
@@ -535,6 +612,17 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
     metrics.update(e2e)
     overhead_off = obs_overhead_pct(e2e, "_obs_off")
     overhead_metrics = obs_overhead_pct(e2e, "_obs_metrics")
+    # Race-detector A/B: its own paired run with its own plain leg as
+    # the baseline (the overheads must come from the same interleaved
+    # process run), but only the suffixed legs are published — the
+    # headline end_to_end.update/query stay owned by bench_obs_ab.
+    rc: Dict = {}
+    bench_racecheck_ab(rc)
+    racecheck_off = obs_overhead_pct(rc, "_racecheck_off")
+    racecheck_on = obs_overhead_pct(rc, "_racecheck")
+    for name, m in rc.items():
+        if name not in ("end_to_end.update", "end_to_end.query"):
+            metrics[name] = m
     report = {
         "schema": SCHEMA,
         "scale": scale,
@@ -542,6 +630,8 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
         "metrics": metrics,
         "obs_disabled_overhead_pct": overhead_off,
         "obs_metrics_overhead_pct": overhead_metrics,
+        "racecheck_disabled_overhead_pct": racecheck_off,
+        "racecheck_on_overhead_pct": racecheck_on,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     for name in sorted(metrics):
@@ -550,6 +640,10 @@ def run(output: pathlib.Path = DEFAULT_OUTPUT) -> Dict:
         print(f"obs disabled overhead ({op}): {pct:+.2f}%")
     for op, pct in sorted(overhead_metrics.items()):
         print(f"obs metrics overhead ({op}): {pct:+.2f}%")
+    for op, pct in sorted(racecheck_off.items()):
+        print(f"racecheck detached overhead ({op}): {pct:+.2f}%")
+    for op, pct in sorted(racecheck_on.items()):
+        print(f"racecheck active overhead ({op}): {pct:+.2f}%")
     print(f"wrote {output}")
     return report
 

@@ -1,13 +1,39 @@
-"""Concurrency control substrate (Section 3.5) and the Figure-16 harness."""
+"""Concurrency control substrate (Section 3.5) and the Figure-16 harness.
 
+The harness (:class:`ConcurrentHarness`, :class:`MixedStressHarness`,
+:class:`ThroughputResult`) is imported lazily: ``throughput`` pulls in
+the whole tree stack (``repro.core.rum``), while the tree stack itself
+needs this package's locks (``RTreeBase`` owns a structure latch) — an
+eager import here would be circular.
+"""
+
+from typing import Any
+
+from . import racecheck
 from .locks import READ, WRITE, GranularLockManager, ReadWriteLock
-from .throughput import ConcurrentHarness, ThroughputResult
+from .primitives import LockLike, make_condition, make_lock, make_rlock
 
 __all__ = [
     "ReadWriteLock",
     "GranularLockManager",
     "READ",
     "WRITE",
+    "LockLike",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "racecheck",
     "ConcurrentHarness",
+    "MixedStressHarness",
     "ThroughputResult",
 ]
+
+_LAZY = ("ConcurrentHarness", "MixedStressHarness", "ThroughputResult")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from . import throughput
+
+        return getattr(throughput, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

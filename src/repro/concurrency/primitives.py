@@ -1,0 +1,72 @@
+"""Lock-construction factories — the only sanctioned way to build
+``threading`` primitives outside this package (rule REP015).
+
+Two reasons to funnel construction through here instead of calling
+``threading.Lock()`` at the use site:
+
+* **one choke point** — the lock-discipline linter can guarantee that
+  every mutex in the tree's core was built here, so interposition
+  below covers all of them;
+* **race-detector interposition** — when :mod:`repro.concurrency.
+  racecheck` is (or may become) active, :func:`make_lock` returns a
+  :class:`~repro.concurrency.racecheck.TrackedLock` whose
+  acquire/release feed the checker's held-lock sets.  When detection
+  is off the factories return the bare ``threading`` primitive — the
+  hot paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+from typing import Any, Optional, Protocol
+
+from . import racecheck
+
+
+class LockLike(Protocol):
+    """Structural type shared by ``threading.Lock``/``RLock`` and
+    :class:`~repro.concurrency.racecheck.TrackedLock`."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def __enter__(self) -> bool:
+        ...
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> Optional[bool]:
+        ...
+
+
+def _tracking() -> bool:
+    return racecheck.ACTIVE is not None or racecheck.env_enabled()
+
+
+def make_lock() -> LockLike:
+    """A mutex; tracked by the race checker when detection is enabled."""
+    lock = threading.Lock()
+    if _tracking():
+        return racecheck.TrackedLock(lock)
+    return lock
+
+
+def make_rlock() -> LockLike:
+    """A reentrant mutex, tracked like :func:`make_lock`."""
+    rlock = threading.RLock()
+    if _tracking():
+        return racecheck.TrackedLock(rlock)
+    return rlock
+
+
+def make_condition(lock: Optional[Any] = None) -> threading.Condition:
+    """A condition variable (never tracked: conditions serialise their
+    own waiters; the lockset checker cares about data-guarding locks)."""
+    return threading.Condition(lock)

@@ -20,27 +20,38 @@ simulation over real threads:
   top-down deletion search may visit (multiple paths!) plus the insertion
   cell, and holds them across its disk I/O.
 
-Each operation executes against the real tree under a short structure
-mutex (the in-memory simulator is not thread-safe), then *holds its
-granule locks* while sleeping for its simulated I/O time — the number of
-leaf accesses the operation actually incurred times ``io_latency``.
-Python's GIL is released during sleeps, so lock contention, not compute,
-determines throughput, exactly the effect Figure 16 measures.
+Each operation executes against the real tree under the tree's own
+structure latch (``tree.latch``, write mode — the in-memory simulator
+is not yet internally thread-safe), then *holds its granule locks*
+while sleeping for its simulated I/O time — the number of leaf accesses
+the operation actually incurred times ``io_latency``.  Python's GIL is
+released during sleeps, so lock contention, not compute, determines
+throughput, exactly the effect Figure 16 measures.
+
+**Race detection.**  With ``REPRO_RACECHECK=1`` (or an explicitly
+activated :mod:`~repro.concurrency.racecheck` checker) the harness
+attaches the Eraser-style detector to the tree's ``attach_racecheck``
+cascade and brackets every worker thread with fork/join
+happens-before edges; :class:`MixedStressHarness` adds batch applies
+and cleaning cycles to the thread mix so the detector sees every
+mutation path the tree offers.
 """
 
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
 
 from repro.core.rum import RUMTree
 from repro.rtree.geometry import Rect
 from repro.workload.trace import Operation, QueryOp, UpdateOp
 
-from .locks import READ, WRITE, GranularLockManager
+from . import racecheck
+from .locks import READ, WRITE, GranularLockManager, ReadWriteLock
 
 
 def _cells_for(
@@ -80,19 +91,32 @@ class ConcurrentHarness:
 
     def __init__(
         self,
-        tree,
+        tree: Any,
         *,
         grid: int = 8,
         io_latency: float = 0.0005,
         search_lock_pad: float = 0.12,
-    ):
+    ) -> None:
         self.tree = tree
         self.grid = grid
         self.io_latency = io_latency
         self.search_lock_pad = search_lock_pad
         self.locks = GranularLockManager()
-        self._structure_mutex = threading.Lock()
+        # Structure serialisation: the tree's own latch when it has one
+        # (every RTreeBase does), a private lock otherwise — so two
+        # harnesses over one tree still exclude each other.
+        latch = getattr(tree, "latch", None)
+        self.tree_latch: ReadWriteLock = (
+            latch if isinstance(latch, ReadWriteLock) else ReadWriteLock()
+        )
         self._is_rum = isinstance(tree, RUMTree)
+        # Race detection: opt-in via REPRO_RACECHECK=1 or an activated
+        # checker; the attach cascade mirrors attach_obs.
+        self.racecheck = racecheck.from_env()
+        if self.racecheck is not None:
+            attach = getattr(tree, "attach_racecheck", None)
+            if attach is not None:
+                attach(self.racecheck)
 
     # -- lock footprints -----------------------------------------------------
 
@@ -143,16 +167,20 @@ class ConcurrentHarness:
 
     # -- execution ---------------------------------------------------------------
 
-    def _execute(self, op: Operation) -> int:
-        """Run the operation on the real tree, returning its leaf I/O."""
+    def _execute(self, op: Operation) -> int:  # holds: tree_latch
+        """Run the operation on the real tree, returning its leaf I/O.
+
+        The caller holds ``tree_latch`` in write mode (the lock-order
+        discipline is *granule locks, then structure latch* — see
+        docs/CONCURRENCY.md).
+        """
         stats = self.tree.stats
-        with self._structure_mutex:
-            before = stats.leaf_reads + stats.leaf_writes
-            if isinstance(op, UpdateOp):
-                self.tree.update_object(op.oid, op.old_rect, op.new_rect)
-            else:
-                self.tree.search(op.window)
-            return stats.leaf_reads + stats.leaf_writes - before
+        before = stats.leaf_reads + stats.leaf_writes
+        if isinstance(op, UpdateOp):
+            self.tree.update_object(op.oid, op.old_rect, op.new_rect)
+        else:
+            self.tree.search(op.window)
+        return stats.leaf_reads + stats.leaf_writes - before
 
     def perform(self, op: Operation) -> None:
         """Lock, execute, and hold the locks for the simulated I/O time."""
@@ -167,12 +195,13 @@ class ConcurrentHarness:
         else:
             requests = self._query_lock_requests(op)
         with self.locks.locked(requests):
-            leaf_io = self._execute(op)
+            with self.tree_latch.write():
+                leaf_io = self._execute(op)
             if self.io_latency > 0:
                 time.sleep(leaf_io * self.io_latency)
 
     def run(
-        self, operations: Sequence[Operation], n_threads: int = 16
+        self, operations: Sequence[Any], n_threads: int = 16
     ) -> ThroughputResult:
         """Drain ``operations`` with ``n_threads`` workers; returns ops/s."""
         if n_threads <= 0:
@@ -180,6 +209,7 @@ class ConcurrentHarness:
         cursor = {"next": 0}
         cursor_lock = threading.Lock()
         errors: List[BaseException] = []
+        checker = self.racecheck
 
         def worker() -> None:
             while True:
@@ -204,9 +234,15 @@ class ConcurrentHarness:
         ]
         started = time.perf_counter()
         for thread in threads:
+            # Fork edge: the workload built so far happens-before the
+            # worker, so the detector never flags the build phase.
+            if checker is not None:
+                checker.note_fork(thread)
             thread.start()
         for thread in threads:
             thread.join()
+            if checker is not None:
+                checker.note_join(thread)
         elapsed = time.perf_counter() - started
         if errors:
             raise errors[0]
@@ -218,3 +254,116 @@ class ConcurrentHarness:
             operations=len(operations),
             elapsed_seconds=elapsed,
         )
+
+
+#: Tagged operations understood by :class:`MixedStressHarness`.
+StressOp = Tuple[str, Any]
+
+
+class MixedStressHarness(ConcurrentHarness):
+    """Adds batch applies and cleaning cycles to the thread mix.
+
+    The race detector's beat cop: updates, queries, ``apply_batch``
+    and full cleaner cycles all run concurrently from worker threads,
+    so every mutation path the RUM-tree offers — memo insert, WAL
+    append, buffer writeback, cleaner drain, batch plan — executes
+    under contention while the checker watches the annotated fields.
+
+    Operations are ``(kind, payload)`` tuples built by
+    :func:`build_mixed_ops`:
+
+    * ``("update", UpdateOp)`` / ``("query", QueryOp)`` — as in the
+      base harness;
+    * ``("batch", [(oid, rect), ...])`` — one ``tree.apply_batch`` of
+      update ops, write-locking every target cell (plus the brief
+      stamp/memo latches) for the duration;
+    * ``("clean", n)`` — ``n`` full cleaning cycles under the
+      structure latch (no spatial granules: the cleaner walks the
+      whole leaf ring).
+    """
+
+    def perform(self, op: Any) -> None:
+        kind, payload = op
+        if kind in ("update", "query"):
+            super().perform(payload)
+            return
+        if kind == "batch":
+            pairs: List[Tuple[int, Rect]] = payload
+            brief: List[Tuple[Hashable, str]] = [("stamp_counter", WRITE)]
+            if self._is_rum:
+                brief.extend(
+                    (("memo_bucket", oid % self.tree.memo.n_buckets), WRITE)
+                    for oid, _rect in pairs
+                )
+                with self.locks.locked(brief):
+                    pass
+            requests: List[Tuple[Hashable, str]] = []
+            for _oid, rect in pairs:
+                requests.extend(
+                    (cell, WRITE) for cell in _cells_for(rect, self.grid)
+                )
+            with self.locks.locked(requests):
+                with self.tree_latch.write():
+                    self.tree.apply_batch(
+                        [("update", oid, rect) for oid, rect in pairs]
+                    )
+            return
+        if kind == "clean":
+            cycles: int = payload
+            with self.tree_latch.write():
+                for _ in range(cycles):
+                    self.tree.cleaner.run_full_cycle()
+            return
+        raise ValueError(f"unknown stress op kind {kind!r}")
+
+
+def build_mixed_ops(
+    n_objects: int,
+    n_ops: int,
+    *,
+    update_fraction: float = 0.5,
+    batch_every: int = 12,
+    batch_size: int = 8,
+    clean_every: int = 40,
+    seed: int = 7,
+) -> Tuple[List[Tuple[int, Rect]], List[StressOp]]:
+    """A seeded mixed workload for :class:`MixedStressHarness`.
+
+    Returns ``(initial, ops)``: ``initial`` is the ``(oid, rect)`` load
+    to insert before starting threads; ``ops`` interleaves updates,
+    range queries, batches and cleaning at the requested cadence.
+    """
+    rng = random.Random(seed)
+
+    def rect_at(x: float, y: float, w: float = 0.01) -> Rect:
+        x = min(max(x, 0.0), 1.0 - w)
+        y = min(max(y, 0.0), 1.0 - w)
+        return Rect(x, y, x + w, y + w)
+
+    positions: Dict[int, Rect] = {
+        oid: rect_at(rng.random(), rng.random()) for oid in range(n_objects)
+    }
+    initial = sorted(positions.items())
+    ops: List[StressOp] = []
+    for i in range(n_ops):
+        if clean_every and i and i % clean_every == 0:
+            ops.append(("clean", 1))
+            continue
+        if batch_every and i and i % batch_every == 0:
+            pairs: List[Tuple[int, Rect]] = []
+            for _ in range(batch_size):
+                oid = rng.randrange(n_objects)
+                new = rect_at(rng.random(), rng.random())
+                pairs.append((oid, new))
+                positions[oid] = new
+            ops.append(("batch", pairs))
+            continue
+        if rng.random() < update_fraction:
+            oid = rng.randrange(n_objects)
+            new = rect_at(rng.random(), rng.random())
+            ops.append(("update", UpdateOp(oid, positions[oid], new)))
+            positions[oid] = new
+        else:
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            ops.append(("query", QueryOp(Rect(x, y, x + 0.1, y + 0.1))))
+    return initial, ops

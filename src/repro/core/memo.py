@@ -20,7 +20,6 @@ lock individual hash buckets.
 
 from __future__ import annotations
 
-import threading
 from contextlib import nullcontext
 from typing import (
     TYPE_CHECKING,
@@ -33,9 +32,11 @@ from typing import (
     Tuple,
 )
 
+from repro.concurrency.primitives import LockLike, make_lock
 from repro.storage.wal import UM_ENTRY_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.racecheck import RaceChecker
     from repro.obs import Observability
 
 #: CheckStatus results (Figure 6).
@@ -67,11 +68,17 @@ class UpdateMemo:
         if n_buckets <= 0:
             raise ValueError("n_buckets must be positive")
         self.n_buckets = n_buckets
-        self._buckets: List[Dict[int, UMEntry]] = [
+        # Callers serialise per bucket: hold the bucket's lock (or an
+        # equivalent exclusive section, e.g. the tree's structure
+        # latch) around every probe and mutation of a bucket.
+        self._buckets: List[Dict[int, UMEntry]] = [  # guarded-by: bucket_lock
             {} for _ in range(n_buckets)
         ]
         #: Per-bucket locks for the concurrency experiment (Section 3.5).
-        self.bucket_locks = [threading.Lock() for _ in range(n_buckets)]
+        self.bucket_locks: List[LockLike] = [
+            make_lock() for _ in range(n_buckets)
+        ]
+        self._rc: Optional["RaceChecker"] = None
         #: Lifetime probe tallies, plain ints kept *unconditionally*:
         #: memo probes run up to once per leaf entry scanned, so even a
         #: ``None``-checked counter increment is measurable against the
@@ -121,10 +128,32 @@ class UpdateMemo:
         reg.gauge("memo.bytes").set_function(self.size_bytes)
         reg.gauge("memo.total_n_old").set_function(self.total_n_old)
 
-    def _bucket(self, oid: int) -> Dict[int, UMEntry]:
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Bind (or unbind) the Eraser race detector.
+
+        Probe granularity is the hash bucket — the unit the paper locks
+        (Section 3.5).  Whole-table operations (snapshot, restore,
+        purge, size metrics) touch every bucket, so a lockless snapshot
+        concurrent with a locked per-bucket write is still a race on
+        that bucket's field.
+        """
+        self._rc = checker
+
+    def _rc_bucket(self, oid: int, write: bool) -> None:
+        checker = self._rc
+        if checker is not None:
+            checker.access(self, f"bucket[{oid % self.n_buckets}]", write)
+
+    def _rc_all(self, write: bool) -> None:
+        checker = self._rc
+        if checker is not None:
+            for index in range(self.n_buckets):
+                checker.access(self, f"bucket[{index}]", write)
+
+    def _bucket(self, oid: int) -> Dict[int, UMEntry]:  # holds: bucket_lock
         return self._buckets[oid % self.n_buckets]
 
-    def bucket_lock(self, oid: int) -> threading.Lock:
+    def bucket_lock(self, oid: int) -> LockLike:
         return self.bucket_locks[oid % self.n_buckets]
 
     # ------------------------------------------------------------------
@@ -139,6 +168,7 @@ class UpdateMemo:
         otherwise ``S_latest`` becomes ``stamp`` and ``N_old`` grows by one
         (the former latest entry just became obsolete).
         """
+        self._rc_bucket(oid, True)
         bucket = self._bucket(oid)
         entry = bucket.get(oid)
         if entry is None:
@@ -154,6 +184,7 @@ class UpdateMemo:
     def check_status(self, oid: int, stamp: int) -> str:
         """CheckStatus (Figure 6): classify a leaf entry as LATEST or
         OBSOLETE by comparing its stamp against ``S_latest``."""
+        self._rc_bucket(oid, False)
         entry = self._bucket(oid).get(oid)
         self.lookup_count += 1
         if entry is None:
@@ -163,6 +194,7 @@ class UpdateMemo:
 
     def is_obsolete(self, oid: int, stamp: int) -> bool:
         """Convenience predicate used by query filtering and the cleaner."""
+        self._rc_bucket(oid, False)
         entry = self._bucket(oid).get(oid)
         self.lookup_count += 1
         if entry is None:
@@ -174,6 +206,7 @@ class UpdateMemo:
         """An obsolete entry of ``oid`` was physically removed: decrement
         ``N_old`` and drop the memo entry when it reaches zero (Figure 8,
         step 1b)."""
+        self._rc_bucket(oid, True)
         bucket = self._bucket(oid)
         entry = bucket.get(oid)
         if entry is None:
@@ -189,6 +222,7 @@ class UpdateMemo:
         if entry.n_old <= 0:
             del bucket[oid]
 
+    # holds: bucket_lock
     def purge_phantoms(
         self, stamp_threshold: int, exclude: Optional[Set[int]] = None
     ) -> int:
@@ -204,6 +238,7 @@ class UpdateMemo:
         entries may genuinely still be in the tree, so the purge skips
         them (the cleaner shields them for one extra cycle).
         """
+        self._rc_all(True)
         purged = 0
         for bucket in self._buckets:
             victims = [
@@ -225,16 +260,19 @@ class UpdateMemo:
     # ------------------------------------------------------------------
 
     def get(self, oid: int) -> Optional[UMEntry]:
+        self._rc_bucket(oid, False)
         return self._bucket(oid).get(oid)
 
-    def snapshot(self) -> List[Tuple[int, int, int]]:
+    def snapshot(self) -> List[Tuple[int, int, int]]:  # holds: bucket_lock
         """A stable copy of all entries (checkpointing, Section 3.4)."""
+        self._rc_all(False)
         return [
             entry.as_tuple()
             for bucket in self._buckets
             for entry in bucket.values()
         ]
 
+    # holds: bucket_lock
     def restore(self, entries: Iterator[Tuple[int, int, int]]) -> None:
         """Replace the whole memo content (crash recovery).
 
@@ -245,6 +283,7 @@ class UpdateMemo:
         exists precisely to count obsolete entries — "no obsolete entries"
         is represented by *absence* (Section 3.1), never by a zero count.
         """
+        self._rc_all(True)
         for bucket in self._buckets:
             bucket.clear()
         for oid, s_latest, n_old in entries:
@@ -266,6 +305,7 @@ class UpdateMemo:
         Hot callers (search filtering, the cleaner's CheckStatus) should
         prefer this over :meth:`get`.
         """
+        self._rc_bucket(oid, False)
         entry = self._bucket(oid).get(oid)
         self.lookup_count += 1
         if entry is None:
@@ -287,14 +327,14 @@ class UpdateMemo:
     # Size metrics (Figures 12d/13d/14d)
     # ------------------------------------------------------------------
 
-    def __len__(self) -> int:
+    def __len__(self) -> int:  # holds: bucket_lock
         return sum(len(bucket) for bucket in self._buckets)
 
     def size_bytes(self) -> int:
         """Memo size using the paper's per-entry footprint ``E``."""
         return len(self) * UM_ENTRY_BYTES
 
-    def total_n_old(self) -> int:
+    def total_n_old(self) -> int:  # holds: bucket_lock
         """Sum of ``N_old`` — an upper bound on obsolete entries in the tree."""
         return sum(
             entry.n_old
@@ -302,6 +342,6 @@ class UpdateMemo:
             for entry in bucket.values()
         )
 
-    def __iter__(self) -> Iterator[UMEntry]:
+    def __iter__(self) -> Iterator[UMEntry]:  # holds: bucket_lock
         for bucket in self._buckets:
             yield from bucket.values()

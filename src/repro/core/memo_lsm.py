@@ -414,12 +414,15 @@ class SpillingUpdateMemo(UpdateMemo):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         #: RAM tier: bucketised tagged records (tag, stamp, n).
-        self._ram: List[Dict[int, Tuple[int, int, int]]] = [
+        # Spill-tier state is *not* lock-striped (a spill touches every
+        # bucket): callers serialise behind the owning tree's structure
+        # latch, or use the memo single-threaded.
+        self._ram: List[Dict[int, Tuple[int, int, int]]] = [  # guarded-by: latch
             {} for _ in range(n_buckets)
         ]
         self._ram_count = 0
         self._defer = 0
-        self._runs: List[_Run] = []  # age order: oldest first
+        self._runs: List[_Run] = []  # guarded-by: latch (age order: oldest first)
         self._next_seq = 1
         #: Lifetime probe tallies (plain ints, same discipline as
         #: ``lookup_count``): run pages read by probes, and how many of
@@ -475,7 +478,7 @@ class SpillingUpdateMemo(UpdateMemo):
     # RAM tier helpers
     # ------------------------------------------------------------------
 
-    def _ram_bucket(self, oid: int) -> Dict[int, Tuple[int, int, int]]:
+    def _ram_bucket(self, oid: int) -> Dict[int, Tuple[int, int, int]]:  # holds: latch
         return self._ram[oid % self.n_buckets]
 
     def _ram_set(self, oid: int, rec: Tuple[int, int, int]) -> None:
@@ -493,7 +496,7 @@ class SpillingUpdateMemo(UpdateMemo):
     # Probing
     # ------------------------------------------------------------------
 
-    def _probe_runs_first(self, oid: int) -> Optional[Tuple[int, int, int]]:
+    def _probe_runs_first(self, oid: int) -> Optional[Tuple[int, int, int]]:  # holds: latch
         """Newest record for ``oid`` across runs (newest→oldest), or
         ``None``.  Charges one page read per Bloom-passed run."""
         for run in reversed(self._runs):
@@ -511,7 +514,7 @@ class SpillingUpdateMemo(UpdateMemo):
                 self._obs_bloom_fp.inc()
         return None
 
-    def _merged_get(self, oid: int) -> Optional[Tuple[int, int]]:
+    def _merged_get(self, oid: int) -> Optional[Tuple[int, int]]:  # holds: latch
         """Aggregate ``(S_latest, N_old)`` for ``oid`` across all tiers
         (RAM first, then runs newest→oldest), or ``None`` if absent."""
         s_latest: Optional[int] = None
@@ -554,10 +557,11 @@ class SpillingUpdateMemo(UpdateMemo):
     # The paper's memo operations
     # ------------------------------------------------------------------
 
-    def record_update(self, oid: int, stamp: int) -> None:
+    def record_update(self, oid: int, stamp: int) -> None:  # holds: latch
         """Same contract as the base memo, still zero-I/O: a RAM miss
         writes a ``DELTA`` record that aggregates over whatever the runs
         hold, so no tier below RAM is consulted."""
+        self._rc_bucket(oid, True)
         bucket = self._ram_bucket(oid)
         rec = bucket.get(oid)
         if rec is None:
@@ -581,6 +585,7 @@ class SpillingUpdateMemo(UpdateMemo):
         """First-hit probe: the newest record in any tier already
         carries ``S_latest``, so the walk stops at one Bloom-screened
         page read without aggregating ``N_old``."""
+        self._rc_bucket(oid, False)
         self.lookup_count += 1
         rec = self._ram_bucket(oid).get(oid)
         if rec is None:
@@ -600,11 +605,12 @@ class SpillingUpdateMemo(UpdateMemo):
         s_latest = self.latest_stamp(oid)
         return s_latest is not None and stamp != s_latest
 
-    def note_cleaned(self, oid: int) -> None:
+    def note_cleaned(self, oid: int) -> None:  # holds: latch
         """Decrement ``N_old``; unlike ``record_update`` this must know
         the aggregate total, so it pays a full-depth probe and writes the
         result back as an ``ABSOLUTE`` (or ``TOMBSTONE`` at zero) that
         supersedes every older record for the oid."""
+        self._rc_bucket(oid, True)
         res = self._merged_get(oid)
         if res is None:
             raise KeyError(
@@ -632,6 +638,7 @@ class SpillingUpdateMemo(UpdateMemo):
         the LSM from the survivors (RAM if they fit, spilled otherwise).
         One full memo scan — the same O(memo) the in-RAM purge pays,
         plus the run reads, charged once per cleaning cycle."""
+        self._rc_all(True)
         merged = self._merged_all()
         survivors = {
             oid: (s_latest, n_old)
@@ -657,14 +664,16 @@ class SpillingUpdateMemo(UpdateMemo):
     # ------------------------------------------------------------------
 
     def get(self, oid: int) -> Optional[UMEntry]:
+        self._rc_bucket(oid, False)
         res = self._merged_get(oid)
         if res is None:
             return None
         return UMEntry(oid, res[0], res[1])
 
-    def snapshot(self) -> List[Tuple[int, int, int]]:
+    def snapshot(self) -> List[Tuple[int, int, int]]:  # holds: latch
         """A stable copy of all live entries, aggregated across tiers
         (checkpointing, Section 3.4).  Charges a full run scan."""
+        self._rc_all(False)
         for run in self._runs:
             self._charge_read_pages(run.pages)
         return [
@@ -676,12 +685,14 @@ class SpillingUpdateMemo(UpdateMemo):
     def restore(self, entries: Iterator[Tuple[int, int, int]]) -> None:
         """Replace the whole memo content (crash recovery), dropping
         non-positive ``N_old`` exactly like the base memo."""
+        self._rc_all(True)
         self._reset_tiers(
             (oid, s_latest, n_old)
             for oid, s_latest, n_old in entries
             if n_old > 0
         )
 
+    # holds: latch
     def _reset_tiers(
         self, entries: Iterator[Tuple[int, int, int]]
     ) -> None:
@@ -706,7 +717,7 @@ class SpillingUpdateMemo(UpdateMemo):
     # Size metrics (gauges — peek-style, uncharged)
     # ------------------------------------------------------------------
 
-    def _merged_all(self) -> Dict[int, Tuple[int, int]]:
+    def _merged_all(self) -> Dict[int, Tuple[int, int]]:  # holds: latch
         """Aggregate every tier into ``{oid: (S_latest, N_old)}``.
 
         Applies runs oldest→newest then RAM on top (the forward
@@ -783,7 +794,7 @@ class SpillingUpdateMemo(UpdateMemo):
             return
         self.flush_ram()
 
-    def flush_ram(self) -> None:
+    def flush_ram(self) -> None:  # holds: latch
         """Spill the whole RAM tier as one new run (newest in the age
         order) and empty RAM.  Crash windows: ``memo.run_flush`` while
         the run image is written (an interrupted image is an orphan —
@@ -900,7 +911,7 @@ class SpillingUpdateMemo(UpdateMemo):
                 return
             self._compact(*group)
 
-    def _find_compactable(self) -> Optional[Tuple[int, int]]:
+    def _find_compactable(self) -> Optional[Tuple[int, int]]:  # holds: latch
         runs = self._runs
         i = 0
         while i < len(runs):
@@ -913,7 +924,7 @@ class SpillingUpdateMemo(UpdateMemo):
             i = j + 1
         return None
 
-    def _compact(self, i: int, j: int) -> None:
+    def _compact(self, i: int, j: int) -> None:  # holds: latch
         """Merge runs ``i..j`` (age order, inclusive) into one run.
 
         Record folding is the probe walk in the forward direction:
@@ -972,7 +983,7 @@ class SpillingUpdateMemo(UpdateMemo):
     # Open / recover / close
     # ------------------------------------------------------------------
 
-    def _recover(self) -> None:
+    def _recover(self) -> None:  # holds: latch
         """Bring the directory to a consistent state at open:
 
         1. drop a leftover manifest temp file (an interrupted atomic
@@ -1011,7 +1022,7 @@ class SpillingUpdateMemo(UpdateMemo):
             if path.name not in live:
                 path.unlink(missing_ok=True)
 
-    def close(self) -> None:
+    def close(self) -> None:  # holds: latch
         """Release run file handles (the manifest is already durable —
         every mutation of the run set commits it before returning)."""
         for run in self._runs:

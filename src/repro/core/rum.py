@@ -23,6 +23,7 @@ from contextlib import nullcontext
 from typing import TYPE_CHECKING, ContextManager, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.racecheck import RaceChecker
     from repro.obs import Observability
     from repro.obs.explain import ExplainReport
 
@@ -124,7 +125,9 @@ class RUMTree(RTreeBase):
         self.recovery_option = recovery_option
         self.checkpoint_interval = checkpoint_interval
         self.wal = wal
-        self._updates_since_checkpoint = 0
+        # Mutated by every update path; serialised by the structure
+        # latch like the rest of the tree's volatile state.
+        self._updates_since_checkpoint = 0  # guarded-by: latch
 
         self.cleaner = GarbageCleaner(
             self,
@@ -151,6 +154,12 @@ class RUMTree(RTreeBase):
         # class's None in place and report zeros).
         if attached is not None and attached.metrics_on:
             self._obs_rec_memo = self.memo
+
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Extend the base cascade to the memo and the stamp counter."""
+        super().attach_racecheck(checker)
+        self.memo.attach_racecheck(checker)
+        self.stamps.attach_racecheck(checker)
 
     def _drift_update_predicted(self, tracker) -> float:
         """``IO_memo = 2(1 + ir)`` (Section 4.2.3) at the live cleaner's
@@ -244,17 +253,21 @@ class RUMTree(RTreeBase):
             self.wal.append_memo_change(oid, stamp)
         self._after_update()
 
-    def _after_update(self) -> None:
+    def _after_update(self) -> None:  # holds: latch
         self.cleaner.on_update()
         if self.recovery_option in (RECOVERY_CHECKPOINT, RECOVERY_FULL_LOG):
+            if self._rc is not None:
+                self._rc.access(self, "_updates_since_checkpoint", write=True)
             self._updates_since_checkpoint += 1
             if self._updates_since_checkpoint >= self.checkpoint_interval:
                 self.write_checkpoint()
 
-    def write_checkpoint(self) -> None:
+    def write_checkpoint(self) -> None:  # holds: latch
         """Log the UM and the stamp counter (recovery options II/III)."""
         if self.wal is None:
             raise RuntimeError("checkpointing requires a write-ahead log")
+        if self._rc is not None:
+            self._rc.access(self, "_updates_since_checkpoint", write=True)
         self.wal.append_checkpoint(self.memo.snapshot(), self.stamps.current)
         self._updates_since_checkpoint = 0
 
@@ -262,7 +275,7 @@ class RUMTree(RTreeBase):
     # Batched ingestion (see repro.core.batch and docs/BATCHING.md)
     # ------------------------------------------------------------------
 
-    def _apply_batch_plan(self, plan: "BatchPlan") -> "BatchResult":
+    def _apply_batch_plan(self, plan: "BatchPlan") -> "BatchResult":  # holds: latch
         """Memo-native batch application.
 
         Replaces the generic per-operation loop of
@@ -329,6 +342,8 @@ class RUMTree(RTreeBase):
             self.recovery_option in (RECOVERY_CHECKPOINT, RECOVERY_FULL_LOG)
             and plan.surviving
         ):
+            if self._rc is not None:
+                self._rc.access(self, "_updates_since_checkpoint", write=True)
             self._updates_since_checkpoint += plan.surviving
             if self._updates_since_checkpoint >= self.checkpoint_interval:
                 self.write_checkpoint()
@@ -718,7 +733,7 @@ class RUMTree(RTreeBase):
     # Crash simulation (Section 3.4)
     # ------------------------------------------------------------------
 
-    def crash(self) -> None:
+    def crash(self) -> None:  # holds: latch
         """Lose every volatile structure; the on-disk tree survives.
 
         The buffer is flushed first: the failure model of Section 3.4 is

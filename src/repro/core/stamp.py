@@ -12,25 +12,40 @@ entries (Section 3.4).
 
 from __future__ import annotations
 
-import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.concurrency.primitives import make_lock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.racecheck import RaceChecker
 
 
 class StampCounter:
     """Monotonic counter handing out globally unique stamps.
 
     Thread-safe: the concurrency experiment (Section 3.5) treats the
-    counter as a lockable resource; here the lock is built in.
+    counter as a lockable resource; here the lock is built in.  Every
+    access to the counter value — including the ``current`` snapshot
+    and ``repr`` — takes the lock; the lock is a pure latch (held for
+    an increment, never across I/O — rule REP014).
     """
 
     def __init__(self, start: int = 1):
         if start < 0:
             raise ValueError("stamp counter cannot start negative")
-        self._value = start
-        self._lock = threading.Lock()
+        self._value = start  # guarded-by: _lock
+        self._lock = make_lock()
+        self._rc: Optional["RaceChecker"] = None
+
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Bind (or unbind) the Eraser race detector."""
+        self._rc = checker
 
     def next(self) -> int:
         """Return the next stamp and advance the counter."""
         with self._lock:
+            if self._rc is not None:
+                self._rc.access(self, "_value", write=True)
             stamp = self._value
             self._value += 1
             return stamp
@@ -38,7 +53,10 @@ class StampCounter:
     @property
     def current(self) -> int:
         """The next stamp that would be handed out (not yet consumed)."""
-        return self._value
+        with self._lock:
+            if self._rc is not None:
+                self._rc.access(self, "_value", write=False)
+            return self._value
 
     def restore(self, value: int) -> None:
         """Reset the counter after crash recovery.
@@ -46,10 +64,12 @@ class StampCounter:
         ``value`` must be at least the current value observed during the
         recovery scan, otherwise stamp uniqueness would break.
         """
+        if value < 0:
+            raise ValueError("cannot restore a negative stamp counter")
         with self._lock:
-            if value < 0:
-                raise ValueError("cannot restore a negative stamp counter")
+            if self._rc is not None:
+                self._rc.access(self, "_value", write=True)
             self._value = value
 
     def __repr__(self) -> str:
-        return f"StampCounter(next={self._value})"
+        return f"StampCounter(next={self.current})"

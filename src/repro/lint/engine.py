@@ -29,6 +29,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Type,
 )
@@ -95,7 +96,8 @@ def register(cls: Type[LintRule]) -> Type[LintRule]:
 
 def all_rules() -> Dict[str, Type[LintRule]]:
     """The registered rules, id -> class (import side effect: ensure the
-    built-in rules module is loaded)."""
+    built-in rule modules are loaded)."""
+    from . import concurrency as _concurrency  # noqa: F401  (registers)
     from . import rules as _rules  # noqa: F401  (registers on import)
 
     return dict(sorted(_REGISTRY.items()))
@@ -104,7 +106,7 @@ def all_rules() -> Dict[str, Type[LintRule]]:
 def collect_files(paths: Iterable[pathlib.Path]) -> List[pathlib.Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
     out: List[pathlib.Path] = []
-    seen = set()
+    seen: Set[pathlib.Path] = set()
     for path in paths:
         if path.is_dir():
             candidates: Iterable[pathlib.Path] = sorted(path.rglob("*.py"))

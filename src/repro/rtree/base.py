@@ -38,9 +38,11 @@ from typing import (
 )
 
 from repro import kernels
+from repro.concurrency.locks import ReadWriteLock
 from repro.storage.buffer import BufferPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.racecheck import RaceChecker
     from repro.core.batch import BatchPlan, BatchResult
     from repro.obs import Observability
     from repro.obs.explain import ExplainReport
@@ -137,6 +139,16 @@ class RTreeBase:
 
         #: child page id -> parent page id (root has no entry).
         self.parent: Dict[int, int] = {}
+
+        #: Structure latch: writers (update / batch / clean) take it in
+        #: write mode, range queries in read mode.  The concurrency
+        #: harness (Section 3.5) serialises structural mutation behind
+        #: it *after* acquiring granule locks — granule locks order
+        #: strictly before the latch (see docs/CONCURRENCY.md).
+        self.latch = ReadWriteLock()
+
+        #: Eraser race detector handle (None = disabled, the default).
+        self._rc: Optional["RaceChecker"] = None
 
         #: Query mirror state (see :mod:`repro.rtree.mirror`).  The mirror
         #: is valid only while its captured buffer version matches; the
@@ -278,6 +290,16 @@ class RTreeBase:
             self._obs_rec_memo = None
             self._obs_drift = None
             self._obs_drift_update = self._obs_drift_query = None
+
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Attach the Eraser race detector to the tree and its storage.
+
+        Mirrors :meth:`attach_obs`: cascades to the buffer pool, and
+        subclasses extend the cascade (memo, stamp counter).  Passing
+        ``None`` detaches everywhere, restoring the probe-free path.
+        """
+        self._rc = checker
+        self.buffer.attach_racecheck(checker)
 
     # -- per-operation capture (flight recorder + drift feed) --------------
 

@@ -44,6 +44,7 @@ from .disk import PageStore
 from .iostats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.concurrency.racecheck import RaceChecker
     from repro.obs import Observability
     from repro.obs.metrics import Counter
     from repro.rtree.node import Node
@@ -138,8 +139,11 @@ class BufferPool:
         self._op_scope = _OperationScope(self)
         self._internal_cache: Dict[int, "Node"] = {}
         self._dirty_internal: Set[int] = set()
-        self._op_leaf_cache: Dict[int, "Node"] = {}
-        self._dirty_leaves: Set[int] = set()
+        # The operation caches are the pool's shared mutable core;
+        # concurrent tree operations serialise behind the owning tree's
+        # structure latch (RTreeBase.latch, write mode).
+        self._op_leaf_cache: Dict[int, "Node"] = {}  # guarded-by: latch
+        self._dirty_leaves: Set[int] = set()  # guarded-by: latch
         # LRU of resident leaf pages (insertion order = recency) and the
         # subset whose in-memory state is newer than the disk page.
         self._lru: Dict[int, "Node"] = {}
@@ -159,6 +163,7 @@ class BufferPool:
         self._obs_evictions: Optional[Counter] = None
         self._obs_batch_scopes: Optional[Counter] = None
         self._obs_batch_coalesced: Optional[Counter] = None
+        self._rc: Optional["RaceChecker"] = None
 
     def attach_obs(self, obs: Optional["Observability"]) -> None:
         """Bind telemetry: cache hits/misses, evictions, write-backs.
@@ -201,6 +206,17 @@ class BufferPool:
         attach = getattr(self.disk, "attach_obs", None)
         if attach is not None:
             attach(obs)
+
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Bind (or unbind) the Eraser race detector.
+
+        The pool is probed as one coarse location (``caches``): its
+        internal structures (operation cache, LRU, dirty sets, version)
+        are mutated together by every page access, so any two
+        unsynchronised operations conflict — finer granularity would
+        only delay the report.
+        """
+        self._rc = checker
 
     # -- operation scope ---------------------------------------------------
 
@@ -245,7 +261,7 @@ class BufferPool:
     def in_operation(self) -> bool:
         return self._op_depth > 0
 
-    def _flush_op_cache(self) -> int:
+    def _flush_op_cache(self) -> int:  # holds: latch
         """Write back the operation cache; returns leaf pages written.
 
         Dirty pages go out in ascending page-id order so a file-backed
@@ -312,8 +328,10 @@ class BufferPool:
 
     # -- node access ---------------------------------------------------------
 
-    def get_node(self, page_id: int) -> "Node":
+    def get_node(self, page_id: int) -> "Node":  # holds: latch
         """Fetch a node, charging I/O according to the accounting model."""
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=True)
         node = self._internal_cache.get(page_id)
         if node is not None:
             self.hit_count += 1
@@ -388,7 +406,7 @@ class BufferPool:
         self.hit_count += n_hits
         self.miss_count += n_misses
 
-    def peek_node(self, page_id: int) -> "Node":
+    def peek_node(self, page_id: int) -> "Node":  # holds: latch
         """Read a node *without* charging I/O or touching any cache.
 
         Serves from whichever cache currently holds the page (so dirty
@@ -401,6 +419,8 @@ class BufferPool:
         operation's data path: pages read here bypass the once-per-
         operation accounting contract entirely.
         """
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=False)
         node = self._internal_cache.get(page_id)
         if node is not None:
             return node
@@ -414,7 +434,7 @@ class BufferPool:
             page_id, self.disk.peek(page_id), lazy=True
         )
 
-    def residency(self, page_id: int) -> str:
+    def residency(self, page_id: int) -> str:  # holds: latch
         """Which buffer layer currently holds ``page_id``.
 
         Returns ``"internal"``, ``"op"`` (operation-scoped leaf cache),
@@ -431,7 +451,7 @@ class BufferPool:
             return "lru"
         return "disk"
 
-    def mark_dirty(self, node: "Node") -> None:
+    def mark_dirty(self, node: "Node") -> None:  # holds: latch
         """Record that ``node`` was modified and must reach disk.
 
         Also invalidates the node's cached page image and coordinate
@@ -439,6 +459,8 @@ class BufferPool:
         was decoded from (or last encoded to), so the next write must
         re-encode and the next kernel call must rebuild its columns.
         """
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=True)
         self.version += 1
         node.cached_bytes = None
         node.columns = None
@@ -476,8 +498,10 @@ class BufferPool:
         self.mark_dirty(node)
         return node
 
-    def free_node(self, node: "Node") -> None:
+    def free_node(self, node: "Node") -> None:  # holds: latch
         """Release a node's page (leaf condense / root collapse)."""
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=True)
         self.version += 1
         page_id = node.page_id
         self._internal_cache.pop(page_id, None)
@@ -497,6 +521,8 @@ class BufferPool:
         headline leaf metric is unaffected, matching the paper's model where
         directory maintenance happens in the background.
         """
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=True)
         if self.in_operation:
             raise RuntimeError("flush() inside an operation")
         self._flush_op_cache()
@@ -527,13 +553,15 @@ class BufferPool:
         if sync is not None:
             sync()
 
-    def drop_volatile(self) -> None:
+    def drop_volatile(self) -> None:  # holds: latch
         """Forget all cached nodes *without* writing them.
 
         Combined with :meth:`flush` this simulates the crash model of
         Section 3.4: ``flush(); drop_volatile()`` leaves the on-disk tree
         intact while discarding every in-memory structure.
         """
+        if self._rc is not None:
+            self._rc.access(self, "caches", write=True)
         self.version += 1
         self._internal_cache.clear()
         self._dirty_internal.clear()

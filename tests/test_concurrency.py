@@ -271,3 +271,248 @@ class TestLockFootprints:
         # The R*-tree has no in-memory latches to take.
         rstar = ConcurrentHarness(build_rstar_tree(node_size=512))
         assert rstar._update_brief_requests(self._op()) == []
+
+
+class TestReadReentrancy:
+    """Read holds are reentrant even with a writer queued (the classic
+    writer-preference self-deadlock, see docs/CONCURRENCY.md)."""
+
+    def test_reentrant_read_with_waiting_writer(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_started = threading.Event()
+        writer_done = []
+
+        def writer():
+            writer_started.set()
+            lock.acquire_write()
+            writer_done.append(True)
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        writer_started.wait(timeout=2)
+        time.sleep(0.05)  # let the writer reach the preference gate
+        # Pre-fix this deadlocked: the second acquire_read queued
+        # behind the waiting writer, which waits for the first hold.
+        lock.acquire_read()
+        lock.release_read()
+        assert not writer_done  # writer still excluded by the first hold
+        lock.release_read()
+        thread.join(timeout=2)
+        assert writer_done
+
+    def test_fresh_reader_still_respects_writer_preference(self):
+        # Reentrancy is per thread: a *different* thread with no prior
+        # hold queues behind the waiting writer, and the writer goes
+        # first once the original read hold drains.
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+
+        def fresh_reader():
+            lock.acquire_read()
+            order.append("reader")
+            lock.release_read()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # writer reaches the preference gate
+        r = threading.Thread(target=fresh_reader)
+        r.start()
+        time.sleep(0.05)
+        assert order == []  # both parked behind the first read hold
+        lock.release_read()
+        w.join(timeout=2)
+        r.join(timeout=2)
+        assert order[0] == "writer"
+
+    def test_write_reentrancy_raises(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            lock.acquire_write()
+        lock.release_write()
+
+    def test_upgrade_raises(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        with pytest.raises(RuntimeError, match="upgrade"):
+            lock.acquire_write()
+        lock.release_read()
+
+    def test_downgrade_raises(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(RuntimeError, match="downgrade"):
+            lock.acquire_read()
+        lock.release_write()
+
+
+class TestWriterPreferenceLiveness:
+    def test_writer_not_starved_by_reader_stream(self):
+        # A continuous stream of new readers must not starve a queued
+        # writer: the preference gate parks readers arriving after it.
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        writer_done = threading.Event()
+
+        def reader_stream():
+            while not stop.is_set():
+                lock.acquire_read()
+                time.sleep(0.001)
+                lock.release_read()
+
+        readers = [threading.Thread(target=reader_stream) for _ in range(4)]
+        for r in readers:
+            r.start()
+        time.sleep(0.02)
+
+        def writer():
+            lock.acquire_write()
+            lock.release_write()
+            writer_done.set()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        assert writer_done.wait(timeout=5), "writer starved by readers"
+        stop.set()
+        w.join(timeout=2)
+        for r in readers:
+            r.join(timeout=2)
+
+    def test_no_lost_wakeups_under_churn(self):
+        # Many writers and readers hammering one lock: every acquire
+        # must eventually succeed (a lost wakeup would hang a thread
+        # and trip the join timeout), and the write count must be exact.
+        lock = ReadWriteLock()
+        counter = {"value": 0}
+        per_thread = 40
+
+        def writer():
+            for _ in range(per_thread):
+                lock.acquire_write()
+                counter["value"] += 1
+                lock.release_write()
+
+        def reader():
+            for _ in range(per_thread):
+                lock.acquire_read()
+                assert counter["value"] >= 0
+                lock.release_read()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "thread hung: lost wakeup"
+        assert counter["value"] == 4 * per_thread
+
+
+class TestLockOrderTotalOrder:
+    class _EvilRepr:
+        """Adversarial granule: every repr() call differs."""
+
+        _serial = [0]
+
+        def __init__(self):
+            self._serial[0] += 1
+            self.me = self._serial[0]
+
+        def __repr__(self):
+            import random
+
+            return f"evil-{random.random()}"
+
+        def __hash__(self):
+            return 0  # force hash collisions too
+
+        def __eq__(self, other):
+            return isinstance(other, type(self)) and self.me == other.me
+
+    def test_order_key_is_stable_per_granule(self):
+        manager = GranularLockManager()
+        granules = [self._EvilRepr() for _ in range(8)]
+        first = [manager.order_key(g) for g in granules]
+        second = [manager.order_key(g) for g in granules]
+        # The repr is captured once at registration: stable thereafter.
+        assert first == second
+        assert len(set(first)) == len(granules)
+
+    def test_order_key_total_across_types(self):
+        manager = GranularLockManager()
+        granules = [("cell", 1, 2), "stamp_counter", 7, self._EvilRepr()]
+        keys = [manager.order_key(g) for g in granules]
+        assert sorted(keys) == sorted(keys, key=lambda k: k)  # comparable
+        assert len(set(keys)) == len(granules)
+
+    def test_adversarial_granules_do_not_deadlock(self):
+        # Two threads locking the same adversarial pair in opposite
+        # request order: the manager's total order must serialise them.
+        manager = GranularLockManager()
+        a, b = self._EvilRepr(), self._EvilRepr()
+        done = []
+
+        def forwards():
+            for _ in range(50):
+                with manager.locked([(a, WRITE), (b, WRITE)]):
+                    done.append("f")
+
+        def backwards():
+            for _ in range(50):
+                with manager.locked([(b, WRITE), (a, WRITE)]):
+                    done.append("b")
+
+        threads = [
+            threading.Thread(target=forwards),
+            threading.Thread(target=backwards),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "deadlock: total order violated"
+        assert len(done) == 100
+
+
+class TestTwoPhaseLockingHammer:
+    def test_multi_granule_2pl_invariant(self):
+        # Each op moves one unit from one account-granule to another
+        # under both write locks; the grand total is the oracle — any
+        # 2PL violation (lock not actually held, partial acquisition)
+        # shows up as a lost update.
+        manager = GranularLockManager()
+        n_accounts = 6
+        balances = {i: 100 for i in range(n_accounts)}
+        ops_per_thread = 150
+
+        def worker(seed):
+            import random
+
+            rng = random.Random(seed)
+            for _ in range(ops_per_thread):
+                src, dst = rng.sample(range(n_accounts), 2)
+                with manager.locked(
+                    [(("acct", src), WRITE), (("acct", dst), WRITE)]
+                ):
+                    take = balances[src]
+                    give = balances[dst]
+                    balances[src] = take - 1
+                    balances[dst] = give + 1
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert sum(balances.values()) == 100 * n_accounts

@@ -31,6 +31,11 @@ ALL_RULE_IDS = (
     "REP008",
     "REP009",
     "REP010",
+    "REP011",
+    "REP012",
+    "REP013",
+    "REP014",
+    "REP015",
 )
 
 
