@@ -1,5 +1,10 @@
 #!/usr/bin/env python
-"""Compare two ``bench_micro`` reports and flag regressions.
+"""Compare two benchmark reports and flag regressions.
+
+Accepts ``bench_micro/v1`` and ``bench_serve/v1`` reports (both carry
+the same ``metrics`` block of ops/sec entries; the serve report encodes
+its latency percentiles as inverse latency, ``1000 / p_ms``, so "higher
+is better" holds uniformly).  Baseline and current must share a schema.
 
 Usage::
 
@@ -53,7 +58,7 @@ import json
 import pathlib
 import sys
 
-SCHEMA = "bench_micro/v1"
+SCHEMAS = ("bench_micro/v1", "bench_serve/v1")
 COMPARE_SCHEMA = "bench_compare/v1"
 
 
@@ -67,9 +72,10 @@ def load_report(path: pathlib.Path) -> dict:
     if not isinstance(report, dict):
         raise SystemExit(f"{path}: expected a JSON object at top level")
     schema = report.get("schema")
-    if schema != SCHEMA:
+    if schema not in SCHEMAS:
         raise SystemExit(
-            f"{path}: unsupported schema {schema!r} (expected {SCHEMA!r})"
+            f"{path}: unsupported schema {schema!r} "
+            f"(expected one of {SCHEMAS!r})"
         )
     metrics = report.get("metrics")
     if not isinstance(metrics, dict):
@@ -84,6 +90,11 @@ def merge_best(reports: list) -> dict:
     merged = reports[0]
     if len(reports) == 1:
         return merged
+    schemas = {r.get("schema") for r in reports}
+    if len(schemas) > 1:
+        raise SystemExit(
+            f"cannot merge runs of different suites: {sorted(schemas)}"
+        )
     scales = {r.get("scale") for r in reports}
     if len(scales) > 1:
         raise SystemExit(
@@ -134,6 +145,11 @@ def compare(baseline: dict, current: dict, threshold: float) -> dict:
     """Per-metric comparison; returns the ``bench_compare/v1`` report."""
     base_metrics = baseline["metrics"]
     cur_metrics = current["metrics"]
+    if baseline.get("schema") != current.get("schema"):
+        raise SystemExit(
+            f"cannot compare different suites: "
+            f"{baseline.get('schema')!r} vs {current.get('schema')!r}"
+        )
     if baseline.get("scale") != current.get("scale"):
         print(
             f"note: comparing different scales "

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI smoke for the sharded serving layer: socket server + racecheck.
+
+Boots a :class:`~repro.serving.ShardServer` in-process with the race
+detector active, drives a short Figure-16 mixed workload through real
+TCP connections with the multi-client open-loop harness, and then
+asserts:
+
+* zero races reported by the detector (the server's fork/join edges
+  and the router's stripe/latch discipline hold under live traffic);
+* a non-empty latency report (every percentile present and positive);
+* the routing directory's live count matches a full-square query.
+
+Exit status is non-zero on any violation, so the CI ``serve`` job can
+gate on it directly.  Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--shards N]
+        [--clients N] [--ops N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Any, List
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.concurrency import racecheck
+from repro.concurrency.racecheck import RaceChecker
+from repro.concurrency.throughput import OpenLoopHarness
+from repro.rtree.geometry import Rect
+from repro.serving import ServingClient, ShardRouter, ShardServer
+from repro.workload.objects import default_network_workload
+from repro.workload.queries import RangeQueryGenerator
+from repro.workload.trace import UpdateOp, mixed_trace
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--ops", type=int, default=240)
+    parser.add_argument("--objects", type=int, default=600)
+    args = parser.parse_args(argv)
+
+    checker = racecheck.activate(RaceChecker())
+    objects = default_network_workload(
+        args.objects, moving_distance=0.02, seed=47
+    )
+    trace = mixed_trace(
+        objects, RangeQueryGenerator(side=0.05, seed=53),
+        args.ops, 0.5, seed=59,
+    )
+
+    router = ShardRouter(args.shards, node_size=1024)
+    for oid, rect in objects.initial():
+        router.upsert(oid, rect)
+
+    clients: List[ServingClient] = []
+    with ShardServer(router) as server:
+        host, port = server.address
+
+        def factory(k: int) -> Any:
+            client = ServingClient(host, port)
+            clients.append(client)  # closed after the run
+
+            def execute(op: Any) -> None:
+                if isinstance(op, UpdateOp):
+                    client.upsert(op.oid, op.new_rect)
+                else:
+                    client.query(op.window)
+
+            return execute
+
+        harness = OpenLoopHarness(factory, n_clients=args.clients)
+        result = harness.run(trace, rate=float("inf"))
+        with ServingClient(host, port) as probe:
+            live = probe.count()
+            answered = len(probe.query(Rect(0.0, 0.0, 1.0, 1.0)))
+            stats = probe.stats()
+        for client in clients:
+            client.close()
+
+    failures = []
+    if checker.race_count != 0:
+        failures.append(
+            f"race detector reported {checker.race_count} race(s):\n"
+            + checker.report()
+        )
+    report = result.report()
+    if len(result.latencies_ms) != len(trace):
+        failures.append(
+            f"latency report incomplete: {len(result.latencies_ms)} "
+            f"samples for {len(trace)} ops"
+        )
+    for name, value in report.items():
+        if value <= 0.0:
+            failures.append(f"percentile {name} is not positive: {value}")
+    if live != answered:
+        failures.append(
+            f"directory count {live} != full-square query {answered}"
+        )
+
+    print(
+        f"serve smoke: {args.shards} shard(s), {args.clients} client(s), "
+        f"{len(trace)} ops over TCP at {result.achieved_rate:.1f} ops/s"
+    )
+    print(
+        "  latency p50 {p50_ms:.2f} ms  p95 {p95_ms:.2f} ms  "
+        "p99 {p99_ms:.2f} ms  max {max_ms:.2f} ms".format(**report)
+    )
+    print(
+        f"  {live} live objects, {stats['tallies']['migrations']} "
+        f"migration(s), 0 races required"
+    )
+    racecheck.deactivate()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,26 @@ simulation over real threads:
   cell, and holds them across its disk I/O.
 
 Each operation executes against the real tree under the tree's own
-structure latch (``tree.latch``, write mode — the in-memory simulator
-is not yet internally thread-safe), then *holds its granule locks*
-while sleeping for its simulated I/O time — the number of leaf accesses
-the operation actually incurred times ``io_latency``.  Python's GIL is
-released during sleeps, so lock contention, not compute, determines
-throughput, exactly the effect Figure 16 measures.
+structure latch — **write** mode for updates, **read** mode for
+queries, so read-only operations genuinely overlap (the harness
+switches the tree's buffer pool into shared-access mode, which
+serialises the pool's internal cache mutations behind its own guard;
+``ReadWriteLock`` has been read-reentrant since the race-detector PR).
+The operation then *holds its granule locks* while sleeping for its
+simulated I/O time — the number of leaf accesses it actually incurred
+times ``io_latency``.  Python's GIL is released during sleeps, so lock
+contention, not compute, determines throughput, exactly the effect
+Figure 16 measures.  (Per-operation leaf I/O is read from the calling
+thread's own tally — :meth:`~repro.storage.iostats.IOStats.thread_leaf_io`
+— so the attribution stays exact even when read-mode queries overlap.)
+
+:class:`OpenLoopHarness` is the serving-layer complement: a
+multi-client **open-loop** load generator.  Arrivals are scheduled on a
+fixed-rate clock that never waits for completions — exactly how
+external client traffic behaves — and each operation's latency is
+measured from its *scheduled* arrival, so queueing delay shows up in
+the percentiles instead of being silently absorbed, avoiding classic
+coordinated omission.
 
 **Race detection.**  With ``REPRO_RACECHECK=1`` (or an explicitly
 activated :mod:`~repro.concurrency.racecheck` checker) the harness
@@ -43,8 +57,8 @@ import math
 import random
 import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Sequence, Tuple
 
 from repro.core.rum import RUMTree
 from repro.rtree.geometry import Rect
@@ -110,6 +124,11 @@ class ConcurrentHarness:
             latch if isinstance(latch, ReadWriteLock) else ReadWriteLock()
         )
         self._is_rum = isinstance(tree, RUMTree)
+        # Queries run under the latch in read mode, so the buffer pool
+        # must serialise its own cache mutations across them.
+        buffer = getattr(tree, "buffer", None)
+        if buffer is not None:
+            buffer.enable_shared_access()
         # Race detection: opt-in via REPRO_RACECHECK=1 or an activated
         # checker; the attach cascade mirrors attach_obs.
         self.racecheck = racecheck.from_env()
@@ -170,17 +189,19 @@ class ConcurrentHarness:
     def _execute(self, op: Operation) -> int:  # holds: tree_latch
         """Run the operation on the real tree, returning its leaf I/O.
 
-        The caller holds ``tree_latch`` in write mode (the lock-order
-        discipline is *granule locks, then structure latch* — see
-        docs/CONCURRENCY.md).
+        The caller holds ``tree_latch`` — write mode for updates, read
+        mode for queries (the lock-order discipline is *granule locks,
+        then structure latch* — see docs/CONCURRENCY.md).  The leaf I/O
+        is the *calling thread's* tally, so the attribution stays exact
+        even when read-mode queries overlap on the shared counters.
         """
         stats = self.tree.stats
-        before = stats.leaf_reads + stats.leaf_writes
+        before = stats.thread_leaf_io()
         if isinstance(op, UpdateOp):
             self.tree.update_object(op.oid, op.old_rect, op.new_rect)
         else:
             self.tree.search(op.window)
-        return stats.leaf_reads + stats.leaf_writes - before
+        return stats.thread_leaf_io() - before
 
     def perform(self, op: Operation) -> None:
         """Lock, execute, and hold the locks for the simulated I/O time."""
@@ -192,10 +213,18 @@ class ConcurrentHarness:
                 with self.locks.locked(brief):
                     pass
             requests = self._update_lock_requests(op)
-        else:
-            requests = self._query_lock_requests(op)
+            with self.locks.locked(requests):
+                with self.tree_latch.write():
+                    leaf_io = self._execute(op)
+                if self.io_latency > 0:
+                    time.sleep(leaf_io * self.io_latency)
+            return
+        # Read-only queries share the structure latch: the buffer pool
+        # is in shared-access mode (see __init__), so concurrent
+        # searches only exclude writers, not each other.
+        requests = self._query_lock_requests(op)
         with self.locks.locked(requests):
-            with self.tree_latch.write():
+            with self.tree_latch.read():
                 leaf_io = self._execute(op)
             if self.io_latency > 0:
                 time.sleep(leaf_io * self.io_latency)
@@ -367,3 +396,168 @@ def build_mixed_ops(
             x, y = rng.random() * 0.9, rng.random() * 0.9
             ops.append(("query", QueryOp(Rect(x, y, x + 0.1, y + 0.1))))
     return initial, ops
+
+
+# ---------------------------------------------------------------------------
+# Open-loop latency benchmark (the serving layer's load generator)
+# ---------------------------------------------------------------------------
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data (the same
+    estimator as the obs registry histogram and bench_compare)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop run.
+
+    ``latencies_ms`` is sorted ascending; each sample measures
+    completion minus *scheduled* arrival, so time an operation spent
+    queued behind a saturated server counts against it (no coordinated
+    omission).
+    """
+
+    n_clients: int
+    operations: int
+    #: Scheduled arrival rate (ops/s); ``inf`` = every arrival due
+    #: immediately (the saturation probe).
+    offered_rate: float
+    elapsed_seconds: float
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completions per second over the whole run."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.operations / self.elapsed_seconds
+
+    def percentile_ms(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def report(self) -> Dict[str, float]:
+        """The latency percentiles the serve benchmark publishes."""
+        return {
+            "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
+            "p99_ms": self.percentile_ms(0.99),
+            "max_ms": self.latencies_ms[-1] if self.latencies_ms else 0.0,
+        }
+
+
+#: Applies one workload operation; returned by the client factory.
+ExecuteFn = Callable[[Any], None]
+
+
+class OpenLoopHarness:
+    """Multi-client open-loop load generator.
+
+    ``client_factory(k)`` is called once inside each of the
+    ``n_clients`` worker threads and returns that client's execute
+    function — the place to open a per-client socket connection (or to
+    close over a shared in-process router).  Operation ``i`` of the
+    workload is scheduled at ``start + i / rate`` and handed to client
+    ``i % n_clients``; a client that falls behind its schedule executes
+    late arrivals immediately, and the lateness is charged to their
+    latency.  With ``rate=float("inf")`` every arrival is due at the
+    start, which turns the run into a saturation probe: the achieved
+    rate is the system's capacity at this concurrency.
+    """
+
+    def __init__(
+        self,
+        client_factory: Callable[[int], ExecuteFn],
+        *,
+        n_clients: int = 8,
+    ) -> None:
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        self.client_factory = client_factory
+        self.n_clients = n_clients
+        self.racecheck = racecheck.from_env()
+
+    def run(
+        self, operations: Sequence[Any], rate: float
+    ) -> OpenLoopResult:
+        """Drive ``operations`` at ``rate`` ops/s; returns latencies."""
+        if rate <= 0:
+            raise ValueError("rate must be positive (use inf to saturate)")
+        interval = 0.0 if math.isinf(rate) else 1.0 / rate
+        n = len(operations)
+        per_client: List[List[float]] = [[] for _ in range(self.n_clients)]
+        errors: List[BaseException] = []
+        checker = self.racecheck
+        start_barrier = threading.Barrier(self.n_clients + 1)
+
+        def client(k: int, start_holder: List[float]) -> None:
+            try:
+                execute = self.client_factory(k)
+                latencies = per_client[k]
+                start_barrier.wait()  # ready: connection built
+                start_barrier.wait()  # go: start stamp published
+                start = start_holder[0]
+                for i in range(k, n, self.n_clients):
+                    due = start + i * interval
+                    now = time.perf_counter()
+                    if now < due:
+                        time.sleep(due - now)
+                    execute(operations[i])
+                    latencies.append(
+                        (time.perf_counter() - due) * 1000.0
+                    )
+            # Client threads must capture every failure (including
+            # SimulatedCrash) so the coordinator can re-raise the first
+            # one after joining; nothing is swallowed.
+            # lint: disable=REP001
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+
+        start_holder: List[float] = [0.0]
+        threads = [
+            threading.Thread(
+                target=client,
+                args=(k, start_holder),
+                name=f"openloop-{k}",
+            )
+            for k in range(self.n_clients)
+        ]
+        for thread in threads:
+            # Fork edge: workload construction happens-before the client.
+            if checker is not None:
+                checker.note_fork(thread)
+            thread.start()
+        # The clock starts after every client has built its connection,
+        # so connection setup never counts as scheduling lateness.  Two
+        # barrier phases: the first proves every client is ready, the
+        # stamp lands between them, the second publishes it.
+        start_barrier.wait()
+        started = time.perf_counter()
+        start_holder[0] = started
+        start_barrier.wait()
+        for thread in threads:
+            thread.join()
+            if checker is not None:
+                checker.note_join(thread)
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        merged = sorted(
+            sample for samples in per_client for sample in samples
+        )
+        return OpenLoopResult(
+            n_clients=self.n_clients,
+            operations=n,
+            offered_rate=rate,
+            elapsed_seconds=elapsed,
+            latencies_ms=merged,
+        )

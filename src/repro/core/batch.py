@@ -27,10 +27,14 @@ half of that pipeline:
   fold chains ``old_rect`` of the first folded operation onto the last
   one, so the single surviving top-down update still finds the stored
   entry.
-* **Z-order locality key** (:func:`zorder_key`) — surviving insertions
-  are sorted by the Morton code of their rectangle's centre, so
-  consecutive choose-subtree descents land on nearby leaves and the
-  batch scope's page pinning turns repeat visits into buffer hits.
+* **Z-order locality key** (:func:`repro.rtree.zorder.zorder_key`) —
+  surviving insertions are sorted by the Morton code of their
+  rectangle's centre, so consecutive choose-subtree descents land on
+  nearby leaves and the batch scope's page pinning turns repeat visits
+  into buffer hits.  The encoding itself lives in
+  :mod:`repro.rtree.zorder` (it also drives the serving layer's shard
+  partition); ``zorder_key`` and ``ZORDER_BITS`` stay re-exported here
+  for existing callers.
 """
 
 from __future__ import annotations
@@ -39,37 +43,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rtree.geometry import Rect
+from repro.rtree.zorder import ZORDER_BITS, zorder_key, zorder_keys
+
+__all__ = [
+    "KINDS",
+    "ZORDER_BITS",
+    "zorder_key",
+    "BatchUpsert",
+    "BatchDelete",
+    "BatchPlan",
+    "BatchResult",
+    "normalize_op",
+    "plan_batch",
+]
 
 #: Operation kinds accepted by :func:`plan_batch`.
 KINDS = ("insert", "update", "delete")
-
-#: Quantisation resolution of the Z-order key (bits per dimension).
-ZORDER_BITS = 16
-
-_ZMAX = (1 << ZORDER_BITS) - 1
-
-
-def _part1by1(v: int) -> int:
-    """Spread the low 16 bits of ``v`` into the even bit positions."""
-    v &= 0xFFFF
-    v = (v | (v << 8)) & 0x00FF00FF
-    v = (v | (v << 4)) & 0x0F0F0F0F
-    v = (v | (v << 2)) & 0x33333333
-    v = (v | (v << 1)) & 0x55555555
-    return v
-
-
-def zorder_key(rect: Rect) -> int:
-    """Morton code of ``rect``'s centre, quantised to the unit square.
-
-    Coordinates outside ``[0, 1]`` clamp to the border cell, so the key
-    is total over arbitrary rectangles; equal keys simply tie.
-    """
-    cx = (rect.xmin + rect.xmax) * 0.5
-    cy = (rect.ymin + rect.ymax) * 0.5
-    qx = int(min(max(cx, 0.0), 1.0) * _ZMAX)
-    qy = int(min(max(cy, 0.0), 1.0) * _ZMAX)
-    return _part1by1(qx) | (_part1by1(qy) << 1)
 
 
 @dataclass(frozen=True)
@@ -234,5 +223,13 @@ def plan_batch(ops: Iterable[Sequence]) -> BatchPlan:
             raise RuntimeError(f"batch fold lost the rect of oid {oid}")
         else:
             plan.upserts.append(BatchUpsert(oid, new_rect, old_rect))
-    plan.upserts.sort(key=lambda u: (zorder_key(u.rect), u.oid))
+    if plan.upserts:
+        # One bulk encode, then a keyed sort: same order as sorting by
+        # (zorder_key(u.rect), u.oid) per element.
+        keys = zorder_keys([u.rect for u in plan.upserts])
+        order = sorted(
+            range(len(plan.upserts)),
+            key=lambda i: (keys[i], plan.upserts[i].oid),
+        )
+        plan.upserts = [plan.upserts[i] for i in order]
     return plan

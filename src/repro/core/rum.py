@@ -67,6 +67,11 @@ class RUMTree(RTreeBase):
         Also clean every leaf touched by an insertion, at zero extra I/O
         (Section 3.3.3).  This is the paper's "RUM-tree*touch*" variant;
         switching it off gives "RUM-tree*token*".
+    stamp_counter:
+        Optionally share a :class:`~repro.core.stamp.StampCounter` with
+        other trees (the sharded serving layer passes one counter to all
+        its shards so stamps are comparable across them); ``None`` gives
+        the tree a private counter.
     recovery_option:
         ``None`` or one of ``"I"``, ``"II"``, ``"III"`` (Section 3.4).
         Options II/III require a :class:`WriteAheadLog`.
@@ -86,6 +91,7 @@ class RUMTree(RTreeBase):
         clean_upon_touch: bool = True,
         memo_buckets: int = 64,
         memo: Optional[UpdateMemo] = None,
+        stamp_counter: Optional[StampCounter] = None,
         recovery_option: Optional[str] = None,
         checkpoint_interval: int = 10_000,
         wal: Optional[WriteAheadLog] = None,
@@ -120,7 +126,15 @@ class RUMTree(RTreeBase):
         self.memo = memo if memo is not None else UpdateMemo(
             n_buckets=memo_buckets
         )
-        self.stamps = StampCounter()
+        # An injected stamp counter lets several trees draw from one
+        # totally-ordered stamp stream — the sharded serving layer's
+        # cross-shard ordering rule (docs/SHARDING.md) depends on every
+        # shard's stamps being globally comparable.  Each tree's own
+        # stream stays strictly monotone either way (the counter is a
+        # thread-safe monotone source), which is all Lemma 1 needs.
+        self.stamps = (
+            stamp_counter if stamp_counter is not None else StampCounter()
+        )
         self.clean_upon_touch = clean_upon_touch
         self.recovery_option = recovery_option
         self.checkpoint_interval = checkpoint_interval

@@ -82,6 +82,9 @@ min_dist_sq = _impl.min_dist_sq
 enlargements = _impl.enlargements
 overlap_delta = _impl.overlap_delta
 
+# Bulk encoders -------------------------------------------------------------
+morton_keys = _impl.morton_keys
+
 # Split scans ---------------------------------------------------------------
 argsort = _impl.argsort
 split_tables = _impl.split_tables
@@ -100,6 +103,7 @@ __all__ = [
     "min_dist_sq",
     "enlargements",
     "overlap_delta",
+    "morton_keys",
     "argsort",
     "split_tables",
     "distribution_scan",

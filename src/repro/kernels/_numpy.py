@@ -308,3 +308,32 @@ def quadratic_seeds(block: Block) -> Tuple[int, int]:
     if waste.flat[flat] > -1.0:
         return flat // n, flat % n
     return 0, 0
+
+
+def morton_keys(
+    cxs: Sequence[float], cys: Sequence[float]
+) -> List[int]:
+    """Bulk Morton codes: vectorised quantise + bit-spread + interleave.
+
+    ``np.uint32`` truncation after the clamp matches ``int()`` on the
+    scalar path (both round toward zero on non-negative input), and the
+    mask cascade is the same expression tree, so keys are bit-identical
+    to :func:`repro.kernels._python.morton_keys`.
+    """
+    if len(cxs) < 32:  # spreading 2x4 masked ops doesn't pay under ~32
+        return _py.morton_keys(cxs, cys)
+    # nan_to_num first: np.clip propagates NaN, whose uint32 cast is
+    # undefined; the scalar path sends NaN to the origin cell.
+    qx = (np.clip(np.nan_to_num(np.asarray(cxs, dtype=np.float64)),
+                  0.0, 1.0) * 0xFFFF).astype(np.uint32)
+    qy = (np.clip(np.nan_to_num(np.asarray(cys, dtype=np.float64)),
+                  0.0, 1.0) * 0xFFFF).astype(np.uint32)
+
+    def spread(v: Any) -> Any:
+        v = (v | (v << np.uint32(8))) & np.uint32(0x00FF00FF)
+        v = (v | (v << np.uint32(4))) & np.uint32(0x0F0F0F0F)
+        v = (v | (v << np.uint32(2))) & np.uint32(0x33333333)
+        v = (v | (v << np.uint32(1))) & np.uint32(0x55555555)
+        return v
+
+    return [int(k) for k in spread(qx) | (spread(qy) << np.uint32(1))]

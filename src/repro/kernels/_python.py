@@ -330,3 +330,37 @@ def quadratic_seeds(block: Block) -> Tuple[int, int]:
                 worst = waste
                 seed_a, seed_b = i, j
     return seed_a, seed_b
+
+
+_MORTON_MAX = 0xFFFF  # (1 << 16) - 1, matching repro.rtree.zorder
+
+
+def _spread1by1(v: int) -> int:
+    v &= 0xFFFF
+    v = (v | (v << 8)) & 0x00FF00FF
+    v = (v | (v << 4)) & 0x0F0F0F0F
+    v = (v | (v << 2)) & 0x33333333
+    v = (v | (v << 1)) & 0x55555555
+    return v
+
+
+def morton_keys(
+    cxs: Sequence[float], cys: Sequence[float]
+) -> List[int]:
+    """Bulk 32-bit Morton codes of unit-square points (clamped).
+
+    Per element: quantise each coordinate to 16 bits (truncating, like
+    ``int()``), spread the bits, interleave with y in the odd positions.
+    The numpy backend reproduces this bit for bit.
+    """
+    keys: List[int] = []
+    append = keys.append
+    for cx, cy in zip(cxs, cys):
+        if cx != cx:  # NaN routes to the origin cell
+            cx = 0.0
+        if cy != cy:
+            cy = 0.0
+        qx = int(min(max(cx, 0.0), 1.0) * _MORTON_MAX)
+        qy = int(min(max(cy, 0.0), 1.0) * _MORTON_MAX)
+        append(_spread1by1(qx) | (_spread1by1(qy) << 1))
+    return keys

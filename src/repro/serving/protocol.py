@@ -1,0 +1,99 @@
+"""Length-prefixed JSON wire protocol for the shard server.
+
+Framing: every message is a 4-byte **big-endian unsigned length**
+followed by that many bytes of UTF-8 JSON (one object per frame).
+Oversized frames are rejected before allocation (:data:`MAX_FRAME`),
+so a corrupt length prefix cannot balloon memory.
+
+Requests are JSON objects with an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "insert",  "oid": 7, "rect": [x1, y1, x2, y2]}
+    {"op": "update",  "oid": 7, "rect": [x1, y1, x2, y2]}
+    {"op": "delete",  "oid": 7}
+    {"op": "query",   "window": [x1, y1, x2, y2]}
+    {"op": "knn",     "x": 0.5, "y": 0.5, "k": 8}
+    {"op": "count"}
+    {"op": "stats"}
+
+Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": "<message>"}``.  Query and kNN results are lists of
+``[oid, [x1, y1, x2, y2]]`` pairs.  The connection is persistent:
+frames are processed in order until the client closes its end.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.rtree.geometry import Rect
+
+#: Hard cap on one frame's payload (1 MiB of JSON is far beyond any
+#: legitimate request or response at the supported scales).
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def rect_to_wire(rect: Rect) -> List[float]:
+    return [rect.xmin, rect.ymin, rect.xmax, rect.ymax]
+
+
+def rect_from_wire(coords: Sequence[float]) -> Rect:
+    if len(coords) != 4:
+        raise ValueError(f"rect needs 4 coordinates, got {len(coords)}")
+    return Rect(
+        float(coords[0]), float(coords[1]),
+        float(coords[2]), float(coords[3]),
+    )
+
+
+def results_to_wire(
+    results: Sequence[Tuple[int, Rect]]
+) -> List[List[Any]]:
+    return [[oid, rect_to_wire(rect)] for oid, rect in results]
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialise ``message`` and write one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on a clean EOF at a frame edge."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None  # clean close between frames
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` when the peer closed the connection."""
+    header = _recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame length {length} exceeds MAX_FRAME")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ConnectionError("connection closed before frame payload")
+    message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("frame payload must be a JSON object")
+    return message

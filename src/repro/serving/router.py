@@ -1,0 +1,519 @@
+"""The shard router: Z-order partition, fan-out queries, migrations.
+
+Partitioning
+------------
+``n_shards`` (a power of two) fixes ``b = log2(n_shards)`` leading bits
+of the 32-bit Morton key; shard ``i`` owns exactly the prefix cell
+:func:`repro.rtree.zorder.shard_region` describes.  An object is routed
+by the *centre of its new rectangle*, so updates are single-shard
+unless the object crosses a cell boundary.
+
+Cross-shard migration (the two-shard stamp-ordering rule)
+---------------------------------------------------------
+All shards draw stamps from **one shared counter**, so stamps are
+comparable across shards and each shard's stream is a strictly
+monotone subsequence — per-shard Lemma 1 holds unchanged.  A boundary
+crossing becomes:
+
+1. insert on the **new** shard at stamp ``s1`` (a plain memo-based
+   insert);
+2. memo-only delete on the **old** shard at stamp ``s2 > s1`` (no tree
+   page is touched — the paper's cheap-delete is what makes migration
+   affordable).
+
+Insert-before-delete means a concurrent fan-out query can momentarily
+see the object on both shards but never on neither; the merge dedups
+per oid by **maximum stamp**, so the transient duplicate always
+resolves to the newer rectangle.  Both steps run under the object's
+stripe lock (one lock per oid stripe), which serialises migrations of
+the same object; the two shard latches are taken one at a time, never
+nested, so no latch-order cycle exists.  See docs/SHARDING.md for the
+full argument.
+
+Concurrency
+-----------
+Queries hold the target shard's latch in **read** mode (the shard's
+buffer pool is switched into shared-access mode at construction);
+updates hold it in write mode.  The optional ``io_latency`` models one
+disk channel per shard: after releasing the structure latch, the
+operation sleeps its measured leaf I/O times ``io_latency`` while
+holding the shard's I/O-channel lock — sleeps on different shards
+overlap (the GIL is released), which is exactly the parallelism
+sharding buys on real hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.concurrency import racecheck
+from repro.concurrency.primitives import LockLike, make_lock
+from repro.core.stamp import StampCounter
+from repro.factory import build_rum_tree
+from repro.rtree.geometry import Rect
+from repro.rtree.zorder import (
+    shard_bits,
+    shard_for_point,
+    shard_region,
+    shards_for_window,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concurrency.racecheck import RaceChecker
+    from repro.core.rum import RUMTree
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter
+
+#: Default shard-tree node size: the serving layer favours small nodes
+#: (shard trees are small; short descents beat page capacity).
+DEFAULT_SHARD_NODE_SIZE = 2048
+
+
+class Shard:
+    """One partition: a full RUM-tree stack plus its cell and I/O lock."""
+
+    __slots__ = ("index", "tree", "region", "io_lock")
+
+    def __init__(self, index: int, tree: "RUMTree", region: Rect) -> None:
+        self.index = index
+        self.tree = tree
+        self.region = region
+        #: Serialises the shard's simulated disk channel (io_latency>0).
+        self.io_lock: LockLike = make_lock()
+
+
+class ShardRouter:
+    """Routes updates, deletes, and fan-out queries over Z-order shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Power-of-two shard count (1 = a single-tree deployment behind
+        the same API, the benchmark baseline).
+    node_size, recovery_option, memo_dir, tree_kwargs:
+        Forwarded to :func:`repro.factory.build_rum_tree` per shard
+        (``memo_dir`` gets a ``shard-<i>`` subdirectory each; with a
+        recovery option each shard keeps its own WAL).
+    io_latency:
+        Seconds of simulated disk time per leaf access, served by one
+        I/O channel per shard (0 disables the simulation).
+    fanout_workers:
+        Worker-pool size for multi-shard queries (default:
+        ``n_shards``).
+    stripes:
+        Number of oid stripes in the routing directory; each stripe has
+        its own lock, so updates of different objects rarely contend.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        *,
+        node_size: int = DEFAULT_SHARD_NODE_SIZE,
+        recovery_option: Optional[str] = None,
+        memo_dir: Optional[str] = None,
+        io_latency: float = 0.0,
+        fanout_workers: Optional[int] = None,
+        stripes: int = 64,
+        obs: Optional["Observability"] = None,
+        **tree_kwargs: Any,
+    ) -> None:
+        self._bits = shard_bits(n_shards)
+        self.n_shards = n_shards
+        self.io_latency = io_latency
+        #: One stamp stream for every shard: cross-shard comparability
+        #: is the serving layer's ordering rule (module docstring).
+        self.stamps = StampCounter()
+        self.shards: List[Shard] = []
+        for i in range(n_shards):
+            shard_memo_dir = (
+                f"{memo_dir}/shard-{i}" if memo_dir is not None else None
+            )
+            tree = build_rum_tree(
+                node_size=node_size,
+                recovery_option=recovery_option,
+                memo_dir=shard_memo_dir,
+                stamp_counter=self.stamps,
+                **tree_kwargs,
+            )
+            # Queries run under the shard latch in *read* mode; the pool
+            # must serialise its own cache mutations across them.
+            tree.buffer.enable_shared_access()
+            self.shards.append(Shard(i, tree, Rect(*shard_region(i, self._bits))))
+        # Routing directory: oid -> shard index, striped by oid.  Every
+        # access happens under the oid's stripe lock.
+        if stripes < 1:
+            raise ValueError("stripes must be positive")
+        self._stripes = stripes
+        self._stripe_locks: List[LockLike] = [
+            make_lock() for _ in range(stripes)
+        ]
+        self._directory: List[Dict[int, int]] = [{} for _ in range(stripes)]
+        # Largest half-extent of any rectangle ever routed (protected by
+        # its own lock): queries grow their window by it so an object
+        # whose rect spills past its centre's cell is still found.
+        self._extent_lock: LockLike = make_lock()
+        self._max_half_extent = 0.0
+        # Router tallies (protected by _stats_lock); attach_obs mirrors
+        # them into counters.
+        self._stats_lock: LockLike = make_lock()
+        self._n_updates = 0
+        self._n_migrations = 0
+        self._n_queries = 0
+        self._n_knn = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._fanout_workers = (
+            fanout_workers if fanout_workers is not None else n_shards
+        )
+        self._rc: Optional["RaceChecker"] = racecheck.from_env()
+        self._obs_migrations: Optional["Counter"] = None
+        self._obs_fanout: Optional["Counter"] = None
+        if self._rc is not None:
+            self.attach_racecheck(self._rc)
+        if obs is not None:
+            self.attach_obs(obs)
+
+    # -- attach cascades ---------------------------------------------------
+
+    def attach_obs(self, obs: Optional["Observability"]) -> None:
+        """Bind router counters and cascade to every shard's stack.
+
+        Shards share one registry, so per-tree counters (updates,
+        queries, memo activity ...) aggregate across shards; per-tree
+        gauges (height, memo size) reflect the last shard attached.
+        """
+        if obs is None or not obs.metrics_on:
+            self._obs_migrations = None
+            self._obs_fanout = None
+        else:
+            reg = obs.registry
+            self._obs_migrations = reg.counter("router.migrations")
+            self._obs_fanout = reg.counter("router.fanout_queries")
+            reg.gauge("router.shards").set_function(
+                lambda: float(self.n_shards)
+            )
+            reg.gauge("router.objects").set_function(
+                lambda: float(self.count_objects())
+            )
+        for shard in self.shards:
+            shard.tree.attach_obs(obs)
+
+    def attach_racecheck(self, checker: Optional["RaceChecker"]) -> None:
+        """Bind the race detector here and in every shard's stack."""
+        self._rc = checker
+        for shard in self.shards:
+            shard.tree.attach_racecheck(checker)
+
+    # -- routing helpers ---------------------------------------------------
+
+    def shard_for_rect(self, rect: Rect) -> int:
+        """Index of the shard ``rect``'s centre routes to."""
+        return shard_for_point(
+            (rect.xmin + rect.xmax) * 0.5,
+            (rect.ymin + rect.ymax) * 0.5,
+            self._bits,
+        )
+
+    def _note_extent(self, rect: Rect) -> None:
+        half = max(rect.xmax - rect.xmin, rect.ymax - rect.ymin) * 0.5
+        with self._extent_lock:
+            if half > self._max_half_extent:
+                self._max_half_extent = half
+
+    def _query_pad(self) -> float:
+        with self._extent_lock:
+            return self._max_half_extent
+
+    def _simulate_io(self, shard: Shard, leaf_io: int) -> None:
+        """One disk channel per shard: sleeps on different shards overlap."""
+        if self.io_latency > 0.0 and leaf_io > 0:
+            with shard.io_lock:
+                time.sleep(leaf_io * self.io_latency)
+
+    @staticmethod
+    def _leaf_io(tree: "RUMTree") -> int:
+        # Per-thread tally: exact even when other operations overlap on
+        # the same shard (the shared counters would cross-charge them).
+        return tree.stats.thread_leaf_io()
+
+    # -- update path -------------------------------------------------------
+
+    def upsert(self, oid: int, rect: Rect) -> Dict[str, Any]:
+        """Insert ``oid`` or move it to ``rect`` (routes by new centre).
+
+        Returns ``{"shard": target, "migrated": bool}``.  A boundary
+        crossing inserts on the new shard first, then memo-deletes on
+        the old one, both under the oid's stripe lock (see the module
+        docstring for why this order is the safe one).
+        """
+        target = self.shard_for_rect(rect)
+        self._note_extent(rect)
+        stripe = oid % self._stripes
+        migrated = False
+        with self._stripe_locks[stripe]:
+            if self._rc is not None:
+                self._rc.access(self, f"directory[{stripe}]", write=True)
+            old = self._directory[stripe].get(oid)
+            self._directory[stripe][oid] = target
+            new_shard = self.shards[target]
+            if old is None or old == target:
+                with new_shard.tree.latch.write():
+                    before = self._leaf_io(new_shard.tree)
+                    new_shard.tree.update_object(oid, None, rect)
+                    leaf_io = self._leaf_io(new_shard.tree) - before
+                self._simulate_io(new_shard, leaf_io)
+            else:
+                migrated = True
+                old_shard = self.shards[old]
+                # Step 1: insert on the new shard (stamp s1).
+                with new_shard.tree.latch.write():
+                    before = self._leaf_io(new_shard.tree)
+                    new_shard.tree.insert_object(oid, rect)
+                    leaf_io = self._leaf_io(new_shard.tree) - before
+                self._simulate_io(new_shard, leaf_io)
+                # Step 2: memo-only delete on the old shard (stamp
+                # s2 > s1): no tree page is touched, the old entries
+                # become garbage for the old shard's cleaner.
+                with old_shard.tree.latch.write():
+                    old_shard.tree.delete_object(oid)
+        with self._stats_lock:
+            self._n_updates += 1
+            if migrated:
+                self._n_migrations += 1
+        if migrated and self._obs_migrations is not None:
+            self._obs_migrations.inc()
+        return {"shard": target, "migrated": migrated}
+
+    #: ``insert`` and ``update`` are the same operation under the memo
+    #: approach (Section 3.2.1); both route by the new position.
+    insert = upsert
+    update = upsert
+
+    def delete(self, oid: int) -> bool:
+        """Remove ``oid``; returns whether it existed."""
+        stripe = oid % self._stripes
+        with self._stripe_locks[stripe]:
+            if self._rc is not None:
+                self._rc.access(self, f"directory[{stripe}]", write=True)
+            old = self._directory[stripe].pop(oid, None)
+            if old is None:
+                return False
+            shard = self.shards[old]
+            with shard.tree.latch.write():
+                shard.tree.delete_object(oid)
+        with self._stats_lock:
+            self._n_updates += 1
+        return True
+
+    # -- query fan-out -----------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self._fanout_workers,
+                thread_name_prefix="shard-fanout",
+            )
+            self._pool = pool
+        return pool
+
+    def _fan_out(
+        self, targets: List[int], job: Callable[[Shard], Any]
+    ) -> List[Any]:
+        """Run ``job`` on every target shard, pooled when >1 target."""
+        if len(targets) == 1:
+            return [job(self.shards[targets[0]])]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(job, self.shards[index]) for index in targets
+        ]
+        return [f.result() for f in futures]
+
+    def _query_shard(
+        self, shard: Shard, window: Rect
+    ) -> List[Tuple[int, Rect, int]]:
+        """Memo-filtered range search on one shard, keeping stamps."""
+        tree = shard.tree
+        with tree.latch.read():
+            before = self._leaf_io(tree)
+            raw = tree.range_search(window)
+            latest = tree.memo.latest_stamp
+            results: List[Tuple[int, Rect, int]] = []
+            for entry in raw:
+                s_latest = latest(entry.oid)
+                if s_latest is None or entry.stamp == s_latest:
+                    results.append((entry.oid, entry.rect, entry.stamp))
+            leaf_io = self._leaf_io(tree) - before
+        self._simulate_io(shard, leaf_io)
+        return results
+
+    def query(self, window: Rect) -> List[Tuple[int, Rect]]:
+        """All live objects intersecting ``window``, merged over shards.
+
+        The window is grown by the largest object half-extent before
+        computing the fan-out (an object routes by its centre but its
+        rectangle may spill into the window from a neighbouring cell);
+        each shard still evaluates the *original* window.  The merge
+        dedups per oid by maximum stamp — during a migration the object
+        may transiently exist on two shards, and the higher stamp is by
+        construction the newer rectangle.
+        """
+        pad = self._query_pad()
+        grown = Rect(
+            window.xmin - pad,
+            window.ymin - pad,
+            window.xmax + pad,
+            window.ymax + pad,
+        )
+        targets = shards_for_window(grown, self._bits)
+        parts = self._fan_out(
+            targets, lambda shard: self._query_shard(shard, window)
+        )
+        best: Dict[int, Tuple[int, Rect]] = {}
+        for part in parts:
+            for oid, rect, stamp in part:
+                seen = best.get(oid)
+                if seen is None or stamp > seen[0]:
+                    best[oid] = (stamp, rect)
+        with self._stats_lock:
+            self._n_queries += 1
+        if self._obs_fanout is not None and len(targets) > 1:
+            self._obs_fanout.inc()
+        return sorted(
+            (oid, rect) for oid, (_stamp, rect) in best.items()
+        )
+
+    def _knn_shard(
+        self, shard: Shard, x: float, y: float, k: int
+    ) -> List[Tuple[float, int, int, Rect]]:
+        """The shard's ``k`` nearest live objects (a bounded candidate
+        heap: the best-first stream is already distance-ordered, so the
+        first ``k`` memo-latest entries are the shard-local answer)."""
+        tree = shard.tree
+        candidates: List[Tuple[float, int, int, Rect]] = []
+        with tree.latch.read():
+            before = self._leaf_io(tree)
+            for entry, dist in tree.iter_nearest(x, y):
+                if tree.memo.check_status(entry.oid, entry.stamp) != "LATEST":
+                    continue
+                candidates.append((dist, entry.oid, entry.stamp, entry.rect))
+                if len(candidates) == k:
+                    break
+            leaf_io = self._leaf_io(tree) - before
+        self._simulate_io(shard, leaf_io)
+        return candidates
+
+    def nearest_neighbors(
+        self, x: float, y: float, k: int
+    ) -> List[Tuple[int, Rect]]:
+        """The ``k`` live objects nearest ``(x, y)``, nearest first.
+
+        Every shard contributes at most ``k`` candidates (its own kNN
+        answer); the merge dedups by maximum stamp, then takes the ``k``
+        globally nearest.  No distance-based shard pruning: with at most
+        ``k * n_shards`` candidates the merge is already cheap, and the
+        per-shard best-first search prunes internally.
+        """
+        if k <= 0:
+            return []
+        targets = list(range(self.n_shards))
+        parts = self._fan_out(
+            targets, lambda shard: self._knn_shard(shard, x, y, k)
+        )
+        best: Dict[int, Tuple[int, float, Rect]] = {}
+        for part in parts:
+            for dist, oid, stamp, rect in part:
+                seen = best.get(oid)
+                if seen is None or stamp > seen[0]:
+                    best[oid] = (stamp, dist, rect)
+        ranked = sorted(
+            (dist, oid, rect)
+            for oid, (_stamp, dist, rect) in best.items()
+        )
+        with self._stats_lock:
+            self._n_knn += 1
+        return [(oid, rect) for _dist, oid, rect in ranked[:k]]
+
+    # -- introspection -----------------------------------------------------
+
+    def count_objects(self) -> int:
+        """Live objects according to the routing directory."""
+        total = 0
+        for stripe in range(self._stripes):
+            with self._stripe_locks[stripe]:
+                if self._rc is not None:
+                    self._rc.access(
+                        self, f"directory[{stripe}]", write=False
+                    )
+                total += len(self._directory[stripe])
+        return total
+
+    def shard_object_counts(self) -> List[int]:
+        """Directory objects per shard (the routing balance)."""
+        counts = [0] * self.n_shards
+        for stripe in range(self._stripes):
+            with self._stripe_locks[stripe]:
+                if self._rc is not None:
+                    self._rc.access(
+                        self, f"directory[{stripe}]", write=False
+                    )
+                for target in self._directory[stripe].values():
+                    counts[target] += 1
+        return counts
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot: routing balance, tallies, leaf I/O."""
+        with self._stats_lock:
+            tallies = {
+                "updates": self._n_updates,
+                "migrations": self._n_migrations,
+                "queries": self._n_queries,
+                "knn": self._n_knn,
+            }
+        per_shard = []
+        for shard in self.shards:
+            stats = shard.tree.stats
+            per_shard.append(
+                {
+                    "index": shard.index,
+                    "region": [
+                        shard.region.xmin,
+                        shard.region.ymin,
+                        shard.region.xmax,
+                        shard.region.ymax,
+                    ],
+                    "leaf_reads": stats.leaf_reads,
+                    "leaf_writes": stats.leaf_writes,
+                }
+            )
+        return {
+            "n_shards": self.n_shards,
+            "objects": self.count_objects(),
+            "objects_per_shard": self.shard_object_counts(),
+            "stamp": self.stamps.current,
+            "tallies": tallies,
+            "shards": per_shard,
+        }
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -516,3 +516,193 @@ class TestTwoPhaseLockingHammer:
             t.join(timeout=60)
             assert not t.is_alive()
         assert sum(balances.values()) == 100 * n_accounts
+
+
+class TestReadLatchedQueries:
+    """Regression tests for the serving-layer fix: queries hold the
+    structure latch in *read* mode, so they genuinely overlap — and the
+    race detector agrees that doing so is safe."""
+
+    def _query_workload(self, tree, ops=40):
+        objects = UniformMovingObjects(120, moving_distance=0.05, seed=220)
+        for oid, rect in objects.initial():
+            tree.insert_object(oid, rect)
+        return mixed_trace(
+            objects,
+            RangeQueryGenerator(side=0.15, seed=221),
+            ops,
+            0.25,  # query-heavy: the overlap path dominates
+            seed=222,
+        )
+
+    def test_two_queries_overlap_inside_search(self):
+        """Both workers must be inside ``tree.search`` at the same
+        time; under the old write-latched queries the barrier would
+        time out (queries serialised) and the run would fail."""
+        from repro.workload.trace import QueryOp
+
+        tree = build_rum_tree(node_size=512)
+        for oid in range(50):
+            tree.insert_object(
+                oid, Rect(oid / 50, 0.4, oid / 50 + 0.01, 0.41)
+            )
+        barrier = threading.Barrier(2, timeout=10)
+        original = tree.search
+
+        def synced_search(window):
+            barrier.wait()  # releases only if both queries are inside
+            return original(window)
+
+        tree.search = synced_search
+        harness = ConcurrentHarness(tree, io_latency=0.0)
+        ops = [QueryOp(Rect(0, 0, 1, 1)), QueryOp(Rect(0, 0, 1, 1))]
+        outcome = harness.run(ops, n_threads=2)
+        assert outcome.operations == 2
+
+    def test_query_heavy_run_is_race_free(self):
+        """The whole point of the read latch: with the detector on, a
+        query-heavy mixed run over one tree reports zero races (the
+        shared-access buffer pool serialises its own cache behind its
+        guard)."""
+        from repro.concurrency import racecheck
+        from repro.concurrency.racecheck import RaceChecker
+
+        checker = racecheck.activate(RaceChecker())
+        try:
+            tree = build_rum_tree(node_size=512)
+            trace = self._query_workload(tree)
+            harness = ConcurrentHarness(tree, io_latency=0.0)
+            assert harness.racecheck is checker
+            harness.run(trace, n_threads=8)
+            checker.assert_no_races()
+        finally:
+            racecheck.deactivate()
+        tree.check_invariants()
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        from repro.concurrency.throughput import percentile
+
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_linear_interpolation(self):
+        from repro.concurrency.throughput import percentile
+
+        assert percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        vals = [float(i) for i in range(101)]
+        assert percentile(vals, 0.95) == pytest.approx(95.0)
+        assert percentile(vals, 0.0) == 0.0
+        assert percentile(vals, 1.0) == 100.0
+
+
+class TestOpenLoopHarness:
+    def _factory(self, sink, lock):
+        def make(k):
+            def execute(op):
+                with lock:
+                    sink.append((k, op))
+
+            return execute
+
+        return make
+
+    def test_fixed_rate_run(self):
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        sink = []
+        lock = threading.Lock()
+        harness = OpenLoopHarness(self._factory(sink, lock), n_clients=4)
+        ops = list(range(120))
+        result = harness.run(ops, rate=3000.0)
+        assert result.operations == 120
+        assert len(result.latencies_ms) == 120
+        assert sorted(op for _, op in sink) == ops
+        # Round-robin assignment: client k got ops k, k+4, ...
+        for k, op in sink:
+            assert op % 4 == k
+        assert result.latencies_ms == sorted(result.latencies_ms)
+        report = result.report()
+        assert set(report) == {"p50_ms", "p95_ms", "p99_ms", "max_ms"}
+        assert report["p50_ms"] <= report["p95_ms"] <= report["p99_ms"]
+        # 120 ops at 3000/s is a 40 ms schedule; generous upper bound.
+        assert 0.03 < result.elapsed_seconds < 5.0
+
+    def test_saturation_run(self):
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        sink = []
+        lock = threading.Lock()
+        harness = OpenLoopHarness(self._factory(sink, lock), n_clients=2)
+        result = harness.run(list(range(50)), rate=float("inf"))
+        assert result.offered_rate == float("inf")
+        assert result.achieved_rate > 0
+        assert len(sink) == 50
+
+    def test_queueing_charged_to_latency(self):
+        """Open-loop semantics: a slow server at an offered rate beyond
+        its capacity shows *growing* latency (queueing from the
+        scheduled arrival), not the flat service time a closed loop
+        would report."""
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        service = 0.005
+
+        def factory(k):
+            def execute(op):
+                time.sleep(service)  # one blocking server per client
+
+            return execute
+
+        harness = OpenLoopHarness(factory, n_clients=1)
+        # Offered 1000/s against a 200/s server: op i queues ~i*4ms.
+        result = harness.run(list(range(30)), rate=1000.0)
+        assert result.percentile_ms(0.99) > 4 * service * 1000
+        assert result.percentile_ms(0.99) > 3 * result.percentile_ms(0.05)
+
+    def test_errors_surface(self):
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        def factory(k):
+            def execute(op):
+                if op == 7:
+                    raise RuntimeError("injected")
+
+            return execute
+
+        harness = OpenLoopHarness(factory, n_clients=2)
+        with pytest.raises(RuntimeError, match="injected"):
+            harness.run(list(range(20)), rate=float("inf"))
+
+    def test_invalid_arguments(self):
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        with pytest.raises(ValueError):
+            OpenLoopHarness(lambda k: (lambda op: None), n_clients=0)
+        harness = OpenLoopHarness(lambda k: (lambda op: None), n_clients=1)
+        with pytest.raises(ValueError):
+            harness.run([1], rate=0.0)
+
+    def test_racecheck_brackets_clients(self):
+        from repro.concurrency import racecheck
+        from repro.concurrency.racecheck import RaceChecker
+        from repro.concurrency.throughput import OpenLoopHarness
+
+        checker = racecheck.activate(RaceChecker())
+        try:
+            counts = [0, 0]
+
+            def factory(k):
+                def execute(op):
+                    counts[k] += 1  # disjoint slots: no race
+
+                return execute
+
+            harness = OpenLoopHarness(factory, n_clients=2)
+            assert harness.racecheck is checker
+            harness.run(list(range(20)), rate=float("inf"))
+            checker.assert_no_races()
+        finally:
+            racecheck.deactivate()
+        assert sum(counts) == 20

@@ -362,3 +362,120 @@ class TestBenchScaleParsing:
         monkeypatch.setattr(harness, "_warned_bench_scales", set())
         with pytest.warns(RuntimeWarning):
             assert harness.scaled(1000) == 1000
+
+
+class TestBenchCompareServeSchema:
+    """The serve report (bench_serve/v1) rides the same compare path."""
+
+    def _load_script(self):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).parent.parent
+            / "scripts"
+            / "bench_compare.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_compare", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _serve_report(self, tmp_path, name, **ops):
+        import json
+
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "bench_serve/v1",
+                    "scale": 1.0,
+                    "metrics": {
+                        metric: {"ops_per_sec": v, "iterations": 1}
+                        for metric, v in ops.items()
+                    },
+                }
+            )
+        )
+        return path
+
+    def test_serve_schema_accepted_and_gated(self, tmp_path, capsys):
+        mod = self._load_script()
+        base = self._serve_report(
+            tmp_path, "base.json",
+            **{"serve.4shards.saturation": 1500.0,
+               "serve.4shards.inv_p99": 120.0},
+        )
+        # p99 latency doubles -> inverse halves -> regression flagged.
+        cur = self._serve_report(
+            tmp_path, "cur.json",
+            **{"serve.4shards.saturation": 1480.0,
+               "serve.4shards.inv_p99": 60.0},
+        )
+        assert mod.main([str(base), str(cur), "--fail-on-regress"]) == 1
+        out = capsys.readouterr().out
+        assert "inv_p99" in out and "REGRESSED" in out
+
+    def test_mixed_schemas_rejected(self, tmp_path):
+        import json
+
+        mod = self._load_script()
+        serve = self._serve_report(
+            tmp_path, "serve.json", **{"serve.1shards.saturation": 100.0}
+        )
+        micro = tmp_path / "micro.json"
+        micro.write_text(
+            json.dumps(
+                {
+                    "schema": "bench_micro/v1",
+                    "scale": 1.0,
+                    "metrics": {"a": {"ops_per_sec": 1.0, "iterations": 1}},
+                }
+            )
+        )
+        with pytest.raises(SystemExit):
+            mod.main([str(micro), str(serve)])
+        with pytest.raises(SystemExit):
+            mod.main([str(serve), str(serve), str(micro)])
+
+    def test_real_serve_report_shape_compares_clean(self, tmp_path):
+        """The actual bench_serve.py output must satisfy the compare
+        contract: build a tiny report via its to_metrics and self-diff."""
+        import importlib.util
+        import json
+        import pathlib
+
+        bench_path = (
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks"
+            / "bench_serve.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "bench_serve", bench_path
+        )
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        shards = {
+            "1": {
+                "saturation_ops_per_sec": 450.0,
+                "open_loop": {"p50_ms": 2.0, "p95_ms": 4.0, "p99_ms": 8.0},
+            },
+            "4": {
+                "saturation_ops_per_sec": 1500.0,
+                "open_loop": {"p50_ms": 2.5, "p95_ms": 5.0, "p99_ms": 9.0},
+            },
+        }
+        metrics = bench.to_metrics(shards)
+        assert metrics["serve.4shards.saturation"]["ops_per_sec"] == 1500.0
+        assert metrics["serve.1shards.inv_p99"]["ops_per_sec"] == (
+            pytest.approx(125.0)
+        )
+        report = {
+            "schema": "bench_serve/v1",
+            "scale": 1.0,
+            "metrics": metrics,
+        }
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(report))
+        mod = self._load_script()
+        assert mod.main([str(path), str(path), "--fail-on-regress"]) == 0

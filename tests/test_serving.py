@@ -1,0 +1,324 @@
+"""Tests for the sharded serving layer (``repro.serving``).
+
+Covers the router (routing, migration, fan-out merge, kNN), the wire
+protocol's framing edge cases, and a live server/client round trip over
+a real socket.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.serving import ServingClient, ShardRouter, ShardServer
+from repro.serving.protocol import (
+    MAX_FRAME,
+    recv_frame,
+    rect_from_wire,
+    rect_to_wire,
+    results_to_wire,
+    send_frame,
+)
+
+
+def _square(x, y, half=0.01):
+    return Rect(x - half, y - half, x + half, y + half)
+
+
+class TestShardRouterBasics:
+    def test_upsert_query_delete(self):
+        with ShardRouter(4) as router:
+            router.upsert(1, _square(0.2, 0.2))
+            router.upsert(2, _square(0.8, 0.8))
+            assert router.count_objects() == 2
+            hits = router.query(Rect(0.1, 0.1, 0.3, 0.3))
+            assert [oid for oid, _ in hits] == [1]
+            assert router.delete(1)
+            assert not router.delete(1)  # second delete: gone
+            assert router.count_objects() == 1
+            assert router.query(Rect(0.1, 0.1, 0.3, 0.3)) == []
+
+    def test_single_shard_router(self):
+        with ShardRouter(1) as router:
+            for oid in range(20):
+                router.upsert(oid, _square(oid / 20.0, oid / 20.0))
+            assert router.count_objects() == 20
+            assert router.shard_object_counts() == [20]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(3)
+
+    def test_update_moves_object(self):
+        with ShardRouter(4) as router:
+            router.upsert(7, _square(0.1, 0.1))
+            router.upsert(7, _square(0.15, 0.15))  # same shard
+            assert router.count_objects() == 1
+            hits = router.query(Rect(0.0, 0.0, 0.3, 0.3))
+            assert len(hits) == 1
+            assert hits[0][1].xmin == pytest.approx(0.14)
+
+    def test_objects_distribute_across_shards(self):
+        with ShardRouter(4) as router:
+            for oid in range(200):
+                router.upsert(
+                    oid, _square((oid % 20) / 20.0 + 0.02,
+                                 (oid // 20) / 10.0 + 0.03)
+                )
+            counts = router.shard_object_counts()
+            assert sum(counts) == 200
+            assert all(c > 0 for c in counts)
+
+
+class TestMigration:
+    def test_boundary_crossing_migrates(self):
+        with ShardRouter(4) as router:
+            # Shard layout at 2 bits: y then x split — (0.2, 0.2) and
+            # (0.8, 0.8) are in different shards.
+            first = router.upsert(42, _square(0.2, 0.2))
+            second = router.upsert(42, _square(0.8, 0.8))
+            assert not first["migrated"]
+            assert second["migrated"]
+            assert second["shard"] != first["shard"]
+            assert router.count_objects() == 1
+            # Only the new position answers queries.
+            assert router.query(Rect(0.1, 0.1, 0.3, 0.3)) == []
+            hits = router.query(Rect(0.7, 0.7, 0.9, 0.9))
+            assert [oid for oid, _ in hits] == [42]
+            assert router.stats()["tallies"]["migrations"] == 1
+
+    def test_migration_leaves_old_shard_consistent(self):
+        with ShardRouter(4) as router:
+            for oid in range(50):
+                router.upsert(oid, _square(0.1 + (oid % 10) * 0.02, 0.2))
+            # March every object to the far corner: all migrate.
+            for oid in range(50):
+                router.upsert(oid, _square(0.8 + (oid % 10) * 0.01, 0.9))
+            assert router.count_objects() == 50
+            assert router.stats()["tallies"]["migrations"] == 50
+            everywhere = router.query(Rect(0, 0, 1, 1))
+            assert len(everywhere) == 50
+            for shard in router.shards:
+                shard.tree.check_invariants()
+
+    def test_delete_after_migration(self):
+        with ShardRouter(4) as router:
+            router.upsert(5, _square(0.2, 0.2))
+            router.upsert(5, _square(0.8, 0.8))
+            assert router.delete(5)
+            assert router.count_objects() == 0
+            assert router.query(Rect(0, 0, 1, 1)) == []
+
+
+class TestFanOut:
+    def test_query_pad_finds_spilling_rect(self):
+        with ShardRouter(4) as router:
+            # Centre routes to the upper-right shard, but the rect
+            # spills well into the lower-left one.
+            router.upsert(1, Rect(0.45, 0.45, 0.56, 0.56))
+            hits = router.query(Rect(0.40, 0.40, 0.47, 0.47))
+            assert [oid for oid, _ in hits] == [1]
+
+    def test_query_spanning_all_shards(self):
+        with ShardRouter(4) as router:
+            for oid in range(40):
+                router.upsert(
+                    oid, _square((oid % 8) / 8.0 + 0.05,
+                                 (oid // 8) / 5.0 + 0.05)
+                )
+            hits = router.query(Rect(0, 0, 1, 1))
+            assert [oid for oid, _ in hits] == list(range(40))
+
+    def test_knn_across_shards(self):
+        with ShardRouter(4) as router:
+            # A ring of points around the centre, one per quadrant.
+            positions = {
+                1: (0.45, 0.45), 2: (0.55, 0.45),
+                3: (0.45, 0.55), 4: (0.55, 0.55),
+                5: (0.1, 0.1), 6: (0.9, 0.9),
+            }
+            for oid, (x, y) in positions.items():
+                router.upsert(oid, _square(x, y))
+            got = router.nearest_neighbors(0.5, 0.5, 4)
+            assert sorted(oid for oid, _ in got) == [1, 2, 3, 4]
+            assert router.nearest_neighbors(0.5, 0.5, 0) == []
+            everyone = router.nearest_neighbors(0.5, 0.5, 100)
+            assert len(everyone) == 6
+
+    def test_knn_sees_only_latest_position(self):
+        with ShardRouter(4) as router:
+            router.upsert(9, _square(0.5, 0.5))
+            router.upsert(9, _square(0.9, 0.9))  # migrates away
+            got = router.nearest_neighbors(0.5, 0.5, 1)
+            assert len(got) == 1
+            oid, rect = got[0]
+            assert oid == 9
+            assert rect.xmin == pytest.approx(0.89)
+
+    def test_stats_shape(self):
+        with ShardRouter(2) as router:
+            router.upsert(1, _square(0.3, 0.3))
+            stats = router.stats()
+            assert stats["n_shards"] == 2
+            assert stats["objects"] == 1
+            assert len(stats["shards"]) == 2
+            assert stats["tallies"]["updates"] == 1
+            import json
+
+            json.dumps(stats)  # must be JSON-serialisable as promised
+
+
+class TestProtocol:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_frame_round_trip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"op": "ping", "n": 3})
+            assert recv_frame(b) == {"op": "ping", "n": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_between_frames_is_none(self):
+        a, b = self._pair()
+        send_frame(a, {"op": "ping"})
+        a.close()
+        try:
+            assert recv_frame(b) == {"op": "ping"}
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = self._pair()
+        a.sendall(b"\x00\x00\x00\x10partial")
+        a.close()
+        try:
+            with pytest.raises(ConnectionError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+
+        a, b = self._pair()
+        a.sendall(struct.pack(">I", MAX_FRAME + 1))
+        try:
+            with pytest.raises(ValueError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_outbound_frame_rejected(self):
+        a, b = self._pair()
+        try:
+            with pytest.raises(ValueError):
+                send_frame(a, {"blob": "x" * (MAX_FRAME + 1)})
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_rejected(self):
+        import struct
+
+        a, b = self._pair()
+        payload = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        try:
+            with pytest.raises(ValueError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_rect_wire_round_trip(self):
+        rect = Rect(0.1, 0.2, 0.3, 0.4)
+        assert rect_from_wire(rect_to_wire(rect)) == rect
+        with pytest.raises(ValueError):
+            rect_from_wire([1.0, 2.0])
+        assert results_to_wire([(7, rect)]) == [[7, [0.1, 0.2, 0.3, 0.4]]]
+
+
+class TestServer:
+    def test_round_trip_over_socket(self):
+        router = ShardRouter(4)
+        with ShardServer(router) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                assert client.ping()
+                result = client.upsert(1, _square(0.2, 0.2))
+                assert result["migrated"] is False
+                client.upsert(2, _square(0.8, 0.8))
+                assert client.count() == 2
+                hits = client.query(Rect(0.1, 0.1, 0.3, 0.3))
+                assert [oid for oid, _ in hits] == [1]
+                near = client.nearest_neighbors(0.8, 0.8, 1)
+                assert [oid for oid, _ in near] == [2]
+                assert client.delete(1)
+                assert client.count() == 1
+                stats = client.stats()
+                assert stats["n_shards"] == 4
+
+    def test_server_error_response(self):
+        router = ShardRouter(1)
+        with ShardServer(router) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                with pytest.raises(RuntimeError, match="unknown op"):
+                    client.request({"op": "no-such-op"})
+                # The connection survives an error response.
+                assert client.ping()
+
+    def test_concurrent_clients(self):
+        router = ShardRouter(4)
+        errors = []
+        with ShardServer(router) as server:
+            host, port = server.address
+
+            def worker(base):
+                try:
+                    with ServingClient(host, port) as client:
+                        for i in range(25):
+                            oid = base * 1000 + i
+                            client.upsert(
+                                oid, _square((base + 1) / 10.0, i / 30.0)
+                            )
+                        client.query(Rect(0, 0, 1, 1))
+                except Exception as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(k,)) for k in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            with ServingClient(host, port) as client:
+                assert client.count() == 150
+
+    def test_stop_is_idempotent_and_double_start_rejected(self):
+        router = ShardRouter(1)
+        server = ShardServer(router)
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+        server.stop()
+        server.stop()  # second stop: no-op
+
+    def test_stop_with_connected_client(self):
+        # A client parked in recv() must not wedge shutdown.
+        router = ShardRouter(1)
+        server = ShardServer(router)
+        host, port = server.start()
+        client = ServingClient(host, port)
+        assert client.ping()
+        server.stop()
+        client.close()
